@@ -1,0 +1,155 @@
+// Command pubopt regenerates the figures of Ma & Misra, "The Public Option:
+// a Non-regulatory Alternative to Network Neutrality" (CoNEXT 2011), plus
+// the repository's ablation studies.
+//
+// Usage:
+//
+//	pubopt list
+//	pubopt run fig4 [fig5 ...] | all   [-format chart|text|csv] [-out DIR]
+//	                                   [-fast] [-seed N] [-cps N] [-workers N]
+//
+// With -out, each table is written as CSV into DIR (one file per table);
+// otherwise tables render to stdout in the chosen format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	publicoption "github.com/netecon-sim/publicoption"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pubopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range publicoption.Experiments() {
+			fmt.Printf("%-26s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case "run":
+		return runCmd(args[1:])
+	case "verify":
+		return verifyCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `pubopt — reproduce the figures of "The Public Option" (CoNEXT 2011)
+
+commands:
+  list                      list available experiments
+  run <id ...|all> [flags]  run experiments and render their tables
+  verify [seed]             run the theorem battery (Axioms 1-4, Theorems
+                            1-5, Lemma 4, the headline ranking, Assumption 2)
+
+flags for run:
+  -format chart|text|csv    output format to stdout (default chart)
+  -out DIR                  also write each table as CSV under DIR
+  -fast                     reduced grids and ensembles (for smoke tests)
+  -seed N                   ensemble seed (default: the published seed)
+  -cps N                    ensemble size (default 1000)
+  -workers N                parallel curves (default GOMAXPROCS)
+`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	format := fs.String("format", "chart", "output format: chart, text or csv")
+	outDir := fs.String("out", "", "directory for CSV output (one file per table)")
+	fast := fs.Bool("fast", false, "reduced grids and ensemble")
+	seed := fs.Uint64("seed", 0, "ensemble seed (0 = published seed)")
+	cps := fs.Int("cps", 0, "ensemble size (0 = default)")
+	workers := fs.Int("workers", 0, "parallel curves (0 = GOMAXPROCS)")
+	// Flags may follow the experiment IDs; split them out first.
+	var ids []string
+	var flagArgs []string
+	for i, a := range args {
+		if strings.HasPrefix(a, "-") {
+			flagArgs = args[i:]
+			break
+		}
+		ids = append(ids, a)
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment IDs given (try 'pubopt list')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range publicoption.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	cfg := publicoption.ExperimentConfig{
+		Fast:    *fast,
+		Seed:    *seed,
+		CPs:     *cps,
+		Workers: *workers,
+	}
+	for _, id := range ids {
+		e, ok := publicoption.Experiment(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		start := time.Now()
+		tables := e.Run(cfg)
+		fmt.Printf("== %s: %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		fmt.Printf("   paper: %s\n\n", e.Expect)
+		for ti, tbl := range tables {
+			switch *format {
+			case "chart":
+				fmt.Println(publicoption.RenderChart(tbl, 90, 22))
+			case "text":
+				fmt.Println(publicoption.RenderText(tbl, 40))
+			case "csv":
+				if err := tbl.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					return err
+				}
+				name := filepath.Join(*outDir, fmt.Sprintf("%s_table%d.csv", id, ti+1))
+				f, err := os.Create(name)
+				if err != nil {
+					return err
+				}
+				if err := tbl.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s\n", name)
+			}
+		}
+	}
+	return nil
+}

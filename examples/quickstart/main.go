@@ -1,0 +1,39 @@
+// Quickstart: solve the rate equilibrium of the paper's three-archetype
+// population (§II-D, Figure 3) and inspect throughputs, demand and consumer
+// surplus as the last-mile capacity grows.
+package main
+
+import (
+	"fmt"
+
+	publicoption "github.com/netecon-sim/publicoption"
+)
+
+func main() {
+	pop := publicoption.Archetypes() // Google-, Netflix-, Skype-type CPs
+
+	fmt.Println("Per-capita capacity sweep over the archetype population")
+	fmt.Println("(throughputs in Kbps; saturation at Σ α·θ̂ = 5500)")
+	fmt.Println()
+	fmt.Printf("%8s  %22s  %22s  %10s\n", "nu", "theta (G/N/S)", "demand (G/N/S)", "phi")
+	for _, nu := range []float64{250, 1000, 2000, 4000, 5500} {
+		eq := publicoption.RateEquilibrium(nu, pop)
+		fmt.Printf("%8.0f  %6.0f %7.0f %7.0f  %7.2f %6.2f %7.2f  %10.1f\n",
+			nu,
+			eq.Theta[0], eq.Theta[1], eq.Theta[2],
+			eq.Demand(0), eq.Demand(1), eq.Demand(2),
+			publicoption.ConsumerSurplus(eq),
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("The Figure 3 ordering: as capacity grows, Google-type demand")
+	fmt.Println("saturates first, then Skype-type, and Netflix-type last.")
+
+	// Absolute-scale entry point: 10,000 consumers behind a 20 Gbps link is
+	// the same system as ν = 2000 Kbps per capita (Axiom 4).
+	abs := publicoption.SolveSystem(publicoption.MaxMin{}, 10000, 2000*10000, pop)
+	rel := publicoption.RateEquilibrium(2000, pop)
+	fmt.Printf("\nScale invariance check: θ_netflix = %.1f (absolute) vs %.1f (per capita)\n",
+		abs.Theta[1], rel.Theta[1])
+}

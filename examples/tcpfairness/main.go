@@ -1,0 +1,57 @@
+// TCP fairness validation (§II-D.2 of the paper): the paper models TCP's
+// bandwidth sharing as max-min fairness, citing Chiu–Jain. This example
+// runs the fluid AIMD simulator on a mixed workload — elastic downloads,
+// an application-limited video stream, an RTT-disadvantaged flow — and
+// compares the emergent rates with the analytic max-min water-fill.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	publicoption "github.com/netecon-sim/publicoption"
+)
+
+func main() {
+	const capacity = 100.0 // Mbps
+	flows := []publicoption.TCPFlow{
+		{Name: "bulk-1", RTT: 0.05},
+		{Name: "bulk-2", RTT: 0.05},
+		{Name: "bulk-3", RTT: 0.05},
+		{Name: "video (capped 8)", RTT: 0.05, Cap: 8},
+		{Name: "satellite (RTT 300ms)", RTT: 0.3},
+	}
+	res, err := publicoption.SimulateTCP(publicoption.TCPConfig{Capacity: capacity}, flows)
+	if err != nil {
+		panic(err)
+	}
+	caps := make([]float64, len(flows))
+	for i, f := range flows {
+		caps[i] = f.Cap
+	}
+	analytic := publicoption.TCPMaxMinReference(capacity, caps)
+
+	fmt.Printf("bottleneck %.0f Mbps, %d flows — AIMD simulation vs max-min water-fill\n\n", capacity, len(flows))
+	fmt.Printf("%-24s  %10s  %10s  %8s\n", "flow", "simulated", "max-min", "Δ%")
+	for i, f := range res.Flows {
+		delta := 100 * (f.Rate - analytic[i]) / analytic[i]
+		fmt.Printf("%-24s  %10.2f  %10.2f  %+7.1f%%\n", f.Name, f.Rate, analytic[i], delta)
+	}
+	fmt.Printf("\nutilization %.1f%%, Jain index (elastic flows) %.4f\n", 100*res.Utilization, res.Jain)
+	fmt.Println()
+	fmt.Println("The capped flow pins to its application limit; equal-RTT elastic")
+	fmt.Println("flows share the rest near-evenly (the paper's max-min model);")
+	fmt.Println("the long-RTT flow shows AIMD's RTT bias — the first-order")
+	fmt.Println("deviation the paper acknowledges and abstracts away.")
+
+	worst := 0.0
+	for i, f := range res.Flows {
+		if flows[i].RTT > 0.1 {
+			continue // exclude the deliberately RTT-biased flow
+		}
+		if d := math.Abs(f.Rate-analytic[i]) / analytic[i]; d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nworst deviation among equal-RTT flows: %.1f%%\n", 100*worst)
+}

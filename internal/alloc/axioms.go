@@ -1,0 +1,138 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// AxiomReport carries the outcome of checking one of the paper's axioms for
+// a mechanism on a concrete workload.
+type AxiomReport struct {
+	Axiom  int // 1..4, the paper's numbering
+	OK     bool
+	Detail string // human-readable description of the first violation
+}
+
+func (r AxiomReport) String() string {
+	status := "ok"
+	if !r.OK {
+		status = "VIOLATED: " + r.Detail
+	}
+	return fmt.Sprintf("axiom %d: %s", r.Axiom, status)
+}
+
+// CheckAxioms verifies a mechanism against Axioms 1–4 of the paper on the
+// given population across the per-capita capacity grid nuGrid (which should
+// be sorted ascending; the monotonicity check relies on it). The tolerance
+// tol absorbs solver error; DefaultAxiomTol is suitable for workloads whose
+// rates are O(1)–O(1e4).
+//
+// The checks are necessarily numerical — the axioms quantify over all
+// capacities — but they are exactly the properties the equilibrium theory
+// consumes, evaluated on the grid the experiments use.
+func CheckAxioms(a Allocator, pop traffic.Population, nuGrid []float64, tol float64) []AxiomReport {
+	if tol <= 0 {
+		tol = DefaultAxiomTol
+	}
+	reports := make([]AxiomReport, 0, 4)
+	total := pop.TotalUnconstrainedPerCapita()
+
+	// Axiom 1: θ_i ≤ θ̂_i everywhere.
+	ax1 := AxiomReport{Axiom: 1, OK: true}
+	for _, nu := range nuGrid {
+		res := Solve(a, nu, pop)
+		for i := range pop {
+			if res.Theta[i] > pop[i].ThetaHat*(1+tol) {
+				ax1.OK = false
+				ax1.Detail = fmt.Sprintf("θ_%d=%g exceeds θ̂=%g at ν=%g", i, res.Theta[i], pop[i].ThetaHat, nu)
+				break
+			}
+			if res.Theta[i] < 0 {
+				ax1.OK = false
+				ax1.Detail = fmt.Sprintf("θ_%d=%g negative at ν=%g", i, res.Theta[i], nu)
+				break
+			}
+		}
+		if !ax1.OK {
+			break
+		}
+	}
+	reports = append(reports, ax1)
+
+	// Axiom 2: work conservation, λ_N = min(ν, Σ λ̂).
+	ax2 := AxiomReport{Axiom: 2, OK: true}
+	for _, nu := range nuGrid {
+		res := Solve(a, nu, pop)
+		want := math.Min(nu, total)
+		scale := math.Max(want, 1)
+		if got := res.Aggregate(); math.Abs(got-want) > tol*scale {
+			ax2.OK = false
+			ax2.Detail = fmt.Sprintf("aggregate=%g, want min(ν,Σλ̂)=%g at ν=%g", got, want, nu)
+			break
+		}
+	}
+	reports = append(reports, ax2)
+
+	// Axiom 3: monotonicity, θ_i non-decreasing in capacity.
+	ax3 := AxiomReport{Axiom: 3, OK: true}
+	prev := make([]float64, len(pop))
+	for k, nu := range nuGrid {
+		res := Solve(a, nu, pop)
+		if k > 0 {
+			for i := range pop {
+				slack := tol * math.Max(pop[i].ThetaHat, 1)
+				if res.Theta[i] < prev[i]-slack {
+					ax3.OK = false
+					ax3.Detail = fmt.Sprintf("θ_%d dropped from %g to %g between ν=%g and ν=%g", i, prev[i], res.Theta[i], nuGrid[k-1], nu)
+					break
+				}
+			}
+		}
+		if !ax3.OK {
+			break
+		}
+		copy(prev, res.Theta)
+	}
+	reports = append(reports, ax3)
+
+	// Axiom 4: independence of scale — solving (ξM, ξµ) matches (M, µ).
+	ax4 := AxiomReport{Axiom: 4, OK: true}
+	for _, nu := range nuGrid {
+		base := SolveSystem(a, 1000, nu*1000, pop)
+		for _, xi := range []float64{0.25, 3, 17.5} {
+			scaled := SolveSystem(a, 1000*xi, nu*1000*xi, pop)
+			for i := range pop {
+				slack := tol * math.Max(pop[i].ThetaHat, 1)
+				if math.Abs(base.Theta[i]-scaled.Theta[i]) > slack {
+					ax4.OK = false
+					ax4.Detail = fmt.Sprintf("θ_%d differs between scales (%g vs %g) at ν=%g, ξ=%g", i, base.Theta[i], scaled.Theta[i], nu, xi)
+					break
+				}
+			}
+			if !ax4.OK {
+				break
+			}
+		}
+		if !ax4.OK {
+			break
+		}
+	}
+	reports = append(reports, ax4)
+	return reports
+}
+
+// DefaultAxiomTol is the default numerical slack for CheckAxioms.
+const DefaultAxiomTol = 1e-6
+
+// AxiomsOK reports whether all axioms hold, with the first violation's
+// description.
+func AxiomsOK(reports []AxiomReport) (bool, string) {
+	for _, r := range reports {
+		if !r.OK {
+			return false, r.String()
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,140 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// Result is the rate equilibrium of a per-capita system (ν, pop) under an
+// allocation mechanism: the unique throughput profile of Theorem 1.
+//
+// Everything is per capita; multiply by M to recover absolute rates (the
+// model is scale independent, Axiom 4 / Lemma 1).
+type Result struct {
+	Nu          float64            // per-capita capacity ν = µ/M
+	Level       float64            // the mechanism's operating level at equilibrium
+	Theta       []float64          // θ_i: achievable per-user throughput, per CP
+	Constrained bool               // true iff ν < Σ α_i θ̂_i (link is a bottleneck)
+	Pop         traffic.Population // the population the equilibrium is for
+}
+
+// Demand returns d_i(θ_i), the equilibrium demand level of CP i.
+func (r *Result) Demand(i int) float64 { return r.Pop[i].DemandAt(r.Theta[i]) }
+
+// Rho returns ρ_i = d_i(θ_i)·θ_i, CP i's equilibrium per-capita throughput
+// over its own user base (Eq. 5).
+func (r *Result) Rho(i int) float64 { return r.Pop[i].Rho(r.Theta[i]) }
+
+// PerCapitaRate returns λ_i/M = α_i·d_i(θ_i)·θ_i for CP i.
+func (r *Result) PerCapitaRate(i int) float64 { return r.Pop[i].PerCapitaRate(r.Theta[i]) }
+
+// Aggregate returns λ_N/M = Σ_i λ_i/M, the equilibrium aggregate per-capita
+// throughput. By Axiom 2 this equals min(ν, Σ α_i θ̂_i) up to solver
+// tolerance.
+func (r *Result) Aggregate() float64 {
+	rates := make([]float64, len(r.Theta))
+	for i := range r.Theta {
+		rates[i] = r.PerCapitaRate(i)
+	}
+	return numeric.Sum(rates)
+}
+
+// Utilization returns the fraction of capacity in use, Aggregate()/ν, or 1
+// for ν = 0.
+func (r *Result) Utilization() float64 {
+	if r.Nu <= 0 {
+		return 1
+	}
+	return r.Aggregate() / r.Nu
+}
+
+// String summarizes the equilibrium for debugging.
+func (r *Result) String() string {
+	return fmt.Sprintf("equilibrium(ν=%g, level=%g, constrained=%t, n=%d, agg=%g)",
+		r.Nu, r.Level, r.Constrained, len(r.Theta), r.Aggregate())
+}
+
+// relTol is the relative level tolerance of the equilibrium bisection. The
+// level range is LevelHi; 1e-12 relative leaves the aggregate-rate residual
+// far below any quantity the games compare.
+const relTol = 1e-12
+
+// Solve computes the unique rate equilibrium of the per-capita system
+// (ν, pop) under mechanism a (Theorem 1).
+//
+// If ν covers the total unconstrained throughput, every CP gets θ̂_i and the
+// link is not a bottleneck. Otherwise the equilibrium level is the root of
+// the (continuous, non-decreasing) aggregate-rate map
+//
+//	ℓ ↦ Σ_i α_i · d_i(RateAt(ℓ, i)) · RateAt(ℓ, i) − ν
+//
+// on [0, LevelHi], found by bisection. Uniqueness of the resulting θ profile
+// is the paper's Theorem 1; the axiom checkers in this package verify the
+// preconditions for each mechanism.
+//
+// Solve panics on negative ν (a programming error); an empty population
+// yields an empty, unconstrained result.
+func Solve(a Allocator, nu float64, pop traffic.Population) *Result {
+	if nu < 0 || math.IsNaN(nu) {
+		panic(fmt.Sprintf("alloc: Solve called with invalid ν=%g", nu))
+	}
+	res := &Result{Nu: nu, Pop: pop, Theta: make([]float64, len(pop))}
+	if len(pop) == 0 {
+		return res
+	}
+	total := pop.TotalUnconstrainedPerCapita()
+	hi := a.LevelHi(pop)
+	if nu >= total {
+		// Uncongested: Axiom 2 forces λ_i = λ̂_i for every CP.
+		for i := range pop {
+			res.Theta[i] = pop[i].ThetaHat
+		}
+		res.Level = hi
+		return res
+	}
+	res.Constrained = true
+	aggregateAt := func(level float64) float64 {
+		var sum float64
+		for i := range pop {
+			sum += pop[i].PerCapitaRate(a.RateAt(level, &pop[i]))
+		}
+		return sum
+	}
+	level := numeric.Bisect(func(l float64) float64 { return aggregateAt(l) - nu }, 0, hi, relTol*hi)
+	res.Level = level
+	for i := range pop {
+		res.Theta[i] = a.RateAt(level, &pop[i])
+	}
+	return res
+}
+
+// SolveSystem is the absolute-scale entry point: it computes the rate
+// equilibrium of the system (M, µ, pop) by reducing to per-capita form,
+// which is exact by Axiom 4 (Lemma 1). M must be positive.
+func SolveSystem(a Allocator, m, mu float64, pop traffic.Population) *Result {
+	if !(m > 0) {
+		panic(fmt.Sprintf("alloc: SolveSystem called with M=%g, want > 0", m))
+	}
+	return Solve(a, mu/m, pop)
+}
+
+// ThetaCurve samples the equilibrium throughput of every CP across a grid of
+// per-capita capacities, returning curves[i][j] = θ_i at nuGrid[j]. It is
+// the numerical object behind Lemma 1 (each row is non-decreasing and
+// continuous in ν) and behind Figure 3.
+func ThetaCurve(a Allocator, nuGrid []float64, pop traffic.Population) [][]float64 {
+	curves := make([][]float64, len(pop))
+	for i := range curves {
+		curves[i] = make([]float64, len(nuGrid))
+	}
+	for j, nu := range nuGrid {
+		res := Solve(a, nu, pop)
+		for i := range pop {
+			curves[i][j] = res.Theta[i]
+		}
+	}
+	return curves
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+func TestNashSequentialConverges(t *testing.T) {
+	pop := ensemble(31, 12)
+	sat := pop.TotalUnconstrainedPerCapita()
+	s := NewSolver(nil)
+	for _, strat := range []Strategy{
+		{Kappa: 0.5, C: 0.3},
+		{Kappa: 0.8, C: 0.1},
+		{Kappa: 1, C: 0.5},
+	} {
+		eq := s.Nash(strat, 0.4*sat, pop, 0)
+		if !eq.Converged {
+			t.Errorf("strategy %v: best-response dynamics did not converge", strat)
+			continue
+		}
+		if !s.IsNash(eq, 1e-9) {
+			t.Errorf("strategy %v: converged state is not a Nash equilibrium", strat)
+		}
+	}
+}
+
+func TestNashKappaZeroTrivial(t *testing.T) {
+	pop := ensemble(32, 8)
+	s := NewSolver(nil)
+	eq := s.Nash(Strategy{Kappa: 0, C: 0.5}, 1, pop, 0)
+	if eq.PremiumCount() != 0 || !eq.Converged {
+		t.Fatal("κ=0 Nash should be the trivial all-ordinary profile")
+	}
+	if !s.IsNash(eq, 0) {
+		t.Fatal("trivial profile must verify as Nash")
+	}
+}
+
+func TestAllNashContainsSequentialResult(t *testing.T) {
+	pop := ensemble(33, 9)
+	sat := pop.TotalUnconstrainedPerCapita()
+	s := NewSolver(nil)
+	strat := Strategy{Kappa: 0.6, C: 0.25}
+	nu := 0.3 * sat
+
+	all := s.AllNash(strat, nu, pop)
+	if len(all) == 0 {
+		t.Fatal("no Nash equilibrium found by enumeration")
+	}
+	seq := s.Nash(strat, nu, pop, 0)
+	if !seq.Converged {
+		t.Fatal("sequential dynamics did not converge")
+	}
+	found := false
+	for _, eq := range all {
+		same := true
+		for i := range pop {
+			if eq.InPremium[i] != seq.InPremium[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("sequential Nash result not among enumerated equilibria")
+	}
+}
+
+func TestCompetitiveAgreesWithNashOnSmallGames(t *testing.T) {
+	// With the rational-expectations estimator, the competitive conditions
+	// coincide with the Nash conditions, so the competitive solver's
+	// fixed point must verify as a Nash equilibrium.
+	s := NewSolver(nil)
+	rng := numeric.NewRNG(99)
+	for trial := 0; trial < 10; trial++ {
+		pop := ensemble(rng.Uint64(), 6+rng.Intn(6))
+		sat := pop.TotalUnconstrainedPerCapita()
+		strat := Strategy{Kappa: rng.Uniform(0.2, 1), C: rng.Uniform(0, 0.8)}
+		nu := rng.Uniform(0.1, 1.2) * sat
+		eq := s.Competitive(strat, nu, pop)
+		if !eq.Converged {
+			t.Errorf("trial %d: competitive did not converge", trial)
+			continue
+		}
+		if v := s.VerifyCompetitive(eq, 1e-9); v != 0 {
+			t.Errorf("trial %d (s=%v, ν=%.3g): %d equilibrium violations", trial, strat, nu, v)
+		}
+	}
+}
+
+func TestAllNashPanicsOnLargePopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSolver(nil)
+	s.AllNash(Strategy{Kappa: 1, C: 0.5}, 1, ensemble(35, 21))
+}
+
+func TestNashUtilityTieBreak(t *testing.T) {
+	// A CP with v = c gets zero premium utility: it must end up ordinary
+	// under the tie-break (zero ordinary utility with zero capacity is not
+	// *worse*).
+	pop := ensemble(36, 10)
+	pop[3].V = 0.4
+	s := NewSolver(nil)
+	eq := s.Nash(Strategy{Kappa: 1, C: 0.4}, 0.3*pop.TotalUnconstrainedPerCapita(), pop, 0)
+	if eq.InPremium[3] {
+		t.Fatal("CP with v = c must not pay for the premium class")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// StrategyGrid enumerates candidate strategies for best-response searches:
+// the cartesian product of the κ and c sample points.
+type StrategyGrid struct {
+	Kappas []float64
+	Cs     []float64
+}
+
+// DefaultStrategyGrid covers the strategy box the paper explores: κ from
+// neutral to full premium, c across the CP revenue range [0, 1].
+func DefaultStrategyGrid() StrategyGrid {
+	return StrategyGrid{
+		Kappas: []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		Cs:     numeric.Linspace(0, 1, 21),
+	}
+}
+
+// Strategies materializes the grid.
+func (g StrategyGrid) Strategies() []Strategy {
+	out := make([]Strategy, 0, len(g.Kappas)*len(g.Cs))
+	for _, k := range g.Kappas {
+		for _, c := range g.Cs {
+			out = append(out, Strategy{Kappa: k, C: c})
+		}
+	}
+	return out
+}
+
+// BestResponse finds, over the strategy grid, ISP `who`'s market-share
+// maximizing strategy against the fixed strategies of the other ISPs
+// (Theorem 6's object). It returns the best strategy, the outcome under it,
+// and the share it achieves. Ties prefer earlier grid entries, and hence —
+// with DefaultStrategyGrid's ordering — more neutral strategies.
+func (mk *Market) BestResponse(isps []ISP, who int, grid StrategyGrid) (Strategy, *MarketOutcome, float64) {
+	var (
+		bestS   Strategy
+		bestOut *MarketOutcome
+		bestM   = math.Inf(-1)
+	)
+	cand := append([]ISP(nil), isps...)
+	for _, s := range grid.Strategies() {
+		cand[who].Strategy = s
+		out := mk.solveAny(cand)
+		if m := out.Shares[who]; m > bestM+1e-12 {
+			bestS, bestOut, bestM = s, out, m
+		}
+	}
+	return bestS, bestOut, bestM
+}
+
+// BestResponseForSurplus is BestResponse with the consumer-surplus objective
+// Φ instead of market share — the comparison object of Theorem 6.
+func (mk *Market) BestResponseForSurplus(isps []ISP, who int, grid StrategyGrid) (Strategy, *MarketOutcome, float64) {
+	var (
+		bestS   Strategy
+		bestOut *MarketOutcome
+		bestPhi = math.Inf(-1)
+	)
+	cand := append([]ISP(nil), isps...)
+	for _, s := range grid.Strategies() {
+		cand[who].Strategy = s
+		out := mk.solveAny(cand)
+		if p := out.Phi; p > bestPhi+1e-12 {
+			bestS, bestOut, bestPhi = s, out, p
+		}
+	}
+	return bestS, bestOut, bestPhi
+}
+
+// solveAny picks the duopoly fast path when applicable.
+func (mk *Market) solveAny(isps []ISP) *MarketOutcome {
+	if len(isps) == 2 {
+		return mk.SolveDuopoly(isps[0], isps[1])
+	}
+	return mk.SolveMarket(isps)
+}
+
+// NashResult is the outcome of iterated best response over strategies.
+type NashResult struct {
+	ISPs      []ISP // final strategies
+	Outcome   *MarketOutcome
+	Rounds    int
+	Converged bool // true if a full round passed with no strategy change
+}
+
+// MarketShareNash runs iterated best response on the strategy grid until no
+// ISP can improve its market share (a grid-restricted market-share Nash
+// equilibrium, Definition 6) or maxRounds passes. Order is round-robin; the
+// grid restriction makes existence a finite search rather than a theorem.
+func (mk *Market) MarketShareNash(isps []ISP, grid StrategyGrid, maxRounds int) *NashResult {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	cur := append([]ISP(nil), isps...)
+	res := &NashResult{}
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		changed := false
+		for who := range cur {
+			before := cur[who].Strategy
+			s, _, _ := mk.BestResponse(cur, who, grid)
+			if s != before {
+				cur[who].Strategy = s
+				changed = true
+			}
+		}
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.ISPs = cur
+	res.Outcome = mk.solveAny(cur)
+	return res
+}
+
+// DeltaGap computes the paper's δ_s metric for ISP `who` from sampled
+// deviation outcomes: the largest market-share advantage a deviation can
+// deliver without also delivering more consumer surplus,
+//
+//	δ = sup{ m(s′) − m(s) : Φ(s′) ≤ Φ(s) }
+//
+// evaluated over all ordered pairs of grid strategies. Theorem 6 bounds the
+// market-share loss of a surplus-maximizing ISP by this quantity.
+func (mk *Market) DeltaGap(isps []ISP, who int, grid StrategyGrid) float64 {
+	type point struct{ m, phi float64 }
+	cand := append([]ISP(nil), isps...)
+	var pts []point
+	for _, s := range grid.Strategies() {
+		cand[who].Strategy = s
+		out := mk.solveAny(cand)
+		pts = append(pts, point{m: out.Shares[who], phi: out.Phi})
+	}
+	var delta float64
+	for _, a := range pts { // deviation s′
+		for _, b := range pts { // reference s
+			if a.phi <= b.phi+1e-12 {
+				if d := a.m - b.m; d > delta {
+					delta = d
+				}
+			}
+		}
+	}
+	return delta
+}
+
+// EpsilonGapForStrategy evaluates ε_s (Eq. 9) for one ISP strategy on this
+// market's population: the largest downward jump of Φ(ν, N, s) over the
+// capacity grid.
+func (mk *Market) EpsilonGapForStrategy(s Strategy, nuGrid []float64) float64 {
+	solver := mk.Solver
+	ys := make([]float64, len(nuGrid))
+	var warm []bool
+	for i, nu := range nuGrid {
+		eq := solver.CompetitiveFrom(s, nu, mk.Pop, warm)
+		warm = append(warm[:0], eq.InPremium...)
+		ys[i] = eq.Phi()
+	}
+	return numeric.MaxDownwardGap(ys)
+}

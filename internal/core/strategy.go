@@ -1,0 +1,78 @@
+// Package core implements the strategic games of the Ma–Misra "Public
+// Option" paper — the primary contribution of the reproduction.
+//
+// Three layers of game are built on top of the rate-equilibrium substrate
+// (internal/alloc):
+//
+//   - The CP class-choice game (§III-B/C/D): given an ISP strategy s = (κ, c)
+//     that splits capacity into a free ordinary class and a priced premium
+//     class, the content providers simultaneously pick classes. Both of the
+//     paper's solution concepts are implemented — the competitive
+//     (throughput-taking, Definition 3) equilibrium used for all numerics,
+//     and the Nash equilibrium (Definition 2) via sequential best response
+//     and exhaustive enumeration for small populations.
+//
+//   - The monopoly Stackelberg game (§III): the ISP moves first, choosing
+//     (κ, c) to maximize premium revenue Ψ, anticipating the CP equilibrium.
+//
+//   - The multi-ISP market game (§IV): consumers migrate between ISPs until
+//     per-capita consumer surplus equalizes (Assumption 5); ISPs choose
+//     strategies to maximize market share. The Public Option ISP is the
+//     fixed strategy (0, 0).
+//
+// All quantities are per capita (ν = µ/M); Theorem 3 and Lemma 3 make this
+// without loss of generality.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strategy is an ISP's service-differentiation strategy s = (κ, c): the
+// fraction κ of capacity dedicated to the premium class and the per-unit
+// traffic price c charged to premium content providers (§III-A). κ = 0
+// means a single free class — the network-neutral strategy.
+type Strategy struct {
+	Kappa float64 // premium capacity fraction κ ∈ [0, 1]
+	C     float64 // premium price c ≥ 0 (per unit traffic)
+}
+
+// PublicOption is the strategy of a Public Option ISP (Definition 5): no
+// capacity split, no charge — neutral to all content providers.
+var PublicOption = Strategy{Kappa: 0, C: 0}
+
+// Neutral reports whether the strategy is economically neutral: either no
+// premium capacity or a free premium class (no CP pays, no CP is
+// disadvantaged by ability to pay).
+func (s Strategy) Neutral() bool { return s.Kappa == 0 || s.C == 0 }
+
+// Validate reports the first parameter violation, or nil.
+func (s Strategy) Validate() error {
+	if s.Kappa < 0 || s.Kappa > 1 || math.IsNaN(s.Kappa) {
+		return fmt.Errorf("core: strategy κ=%g outside [0,1]", s.Kappa)
+	}
+	if s.C < 0 || math.IsNaN(s.C) || math.IsInf(s.C, 0) {
+		return fmt.Errorf("core: strategy c=%g, want finite and >= 0", s.C)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string { return fmt.Sprintf("(κ=%.3g, c=%.3g)", s.Kappa, s.C) }
+
+// ISP describes one competing ISP in the oligopolistic analysis: its share
+// γ_I of the total last-mile capacity and its differentiation strategy.
+type ISP struct {
+	Name     string
+	Gamma    float64 // capacity share γ_I = µ_I/µ ∈ (0, 1]
+	Strategy Strategy
+}
+
+// Validate reports the first parameter violation, or nil.
+func (i ISP) Validate() error {
+	if !(i.Gamma > 0 && i.Gamma <= 1) {
+		return fmt.Errorf("core: ISP %q capacity share γ=%g outside (0,1]", i.Name, i.Gamma)
+	}
+	return i.Strategy.Validate()
+}

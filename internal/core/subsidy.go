@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// The paper's §VI closes with a caveat to the idealized market-share
+// objective: "ISPs might be able to use the CP-side revenue to subsidize
+// the service fees for consumers so as to increase market share." This file
+// implements that extension: consumers choose ISPs by total per-capita
+// value Φ_I + σ_I·Ψ_I, where σ_I ∈ [0, 1] is the fraction of premium
+// revenue ISP I rebates to its subscribers. σ = 0 recovers the paper's
+// baseline model (Assumption 5 on Φ alone).
+//
+// The interesting question — answered by TestSubsidy* and the
+// subsidized-duopoly example code — is whether a differentiating incumbent
+// can use rebates to beat the Public Option while still hurting gross
+// consumer surplus. Under full rebating the answer is structurally limited:
+// the rebate is a transfer from CPs, who recover it from consumers outside
+// the model, so the regulator's view of Φ alone still favors the Public
+// Option.
+
+// SubsidizedISP pairs an ISP with a rebate fraction σ.
+type SubsidizedISP struct {
+	ISP
+	Sigma float64 // fraction of premium revenue rebated to subscribers, in [0, 1]
+}
+
+// Validate reports the first invalid parameter.
+func (s SubsidizedISP) Validate() error {
+	if s.Sigma < 0 || s.Sigma > 1 || math.IsNaN(s.Sigma) {
+		return fmt.Errorf("core: subsidy fraction σ=%g outside [0,1]", s.Sigma)
+	}
+	return s.ISP.Validate()
+}
+
+// SubsidizedOutcome is a consumer-migration equilibrium under rebates.
+type SubsidizedOutcome struct {
+	ISPs   []SubsidizedISP
+	Shares []float64
+	Eqs    []*ClassEquilibrium
+	// Value is the equalized per-capita consumer value Φ + σ·Ψ.
+	Value float64
+	// GrossPhi is the market's per-capita consumer surplus *excluding*
+	// rebates — the quantity the paper's welfare analysis ranks regimes by.
+	GrossPhi float64
+}
+
+// valueAtShare returns ISP k's per-capita consumer value at share m: the
+// class-game surplus plus the rebated fraction of premium revenue (both per
+// subscriber of this ISP).
+func (mk *Market) valueAtShare(isp SubsidizedISP, m float64) (float64, *ClassEquilibrium) {
+	phi, eq := mk.phiAtShare(isp.ISP, m)
+	return phi + isp.Sigma*eq.Psi(), eq
+}
+
+// SolveSubsidizedDuopoly computes the migration equilibrium of two ISPs
+// when consumers weigh rebates alongside surplus. The equalized quantity is
+// Φ + σ·Ψ; the monotone structure of the baseline model carries over
+// because Ψ, like Φ, is non-increasing in the ISP's own market share (more
+// subscribers squeeze the same capacity). Plateau selection follows
+// SolveDuopoly: capacity-proportional shares when consumers are indifferent
+// at that split.
+func (mk *Market) SolveSubsidizedDuopoly(a, b SubsidizedISP) *SubsidizedOutcome {
+	for _, s := range []SubsidizedISP{a, b} {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if a.Name == b.Name {
+		panic("core: duopoly ISPs must have distinct names")
+	}
+	if math.Abs(a.Gamma+b.Gamma-1) > 1e-9 {
+		panic(fmt.Sprintf("core: duopoly capacity shares must sum to 1, got %g", a.Gamma+b.Gamma))
+	}
+	gap := func(m float64) float64 {
+		va, _ := mk.valueAtShare(a, m)
+		vb, _ := mk.valueAtShare(b, 1-m)
+		return va - vb
+	}
+	tol := mk.MigrationTol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	var m float64
+	vGA, _ := mk.valueAtShare(a, a.Gamma)
+	vGB, _ := mk.valueAtShare(b, b.Gamma)
+	if math.Abs(vGA-vGB) <= 1e-9*math.Max(math.Max(vGA, vGB), 1) {
+		m = a.Gamma
+	} else {
+		m = numeric.BisectDecreasing(gap, minShare, 1-minShare, tol)
+	}
+	va, eqA := mk.valueAtShare(a, m)
+	vb, eqB := mk.valueAtShare(b, 1-m)
+	out := &SubsidizedOutcome{
+		ISPs:   []SubsidizedISP{a, b},
+		Shares: []float64{m, 1 - m},
+		Eqs:    []*ClassEquilibrium{eqA, eqB},
+		Value:  math.Max(va, vb),
+	}
+	if m <= 2*minShare {
+		out.Shares = []float64{0, 1}
+		out.Value = vb
+	} else if m >= 1-2*minShare {
+		out.Shares = []float64{1, 0}
+		out.Value = va
+	}
+	out.GrossPhi = out.Shares[0]*eqA.Phi() + out.Shares[1]*eqB.Phi()
+	return out
+}

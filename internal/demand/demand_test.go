@@ -1,0 +1,246 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// allCurves returns one representative of every family, matched to the
+// parameter ranges the experiments use.
+func allCurves() []Curve {
+	pw, err := NewPiecewise([]float64{0, 0.5, 1}, []float64{0, 0.2, 1})
+	if err != nil {
+		panic(err)
+	}
+	return []Curve{
+		Exponential{Beta: 0.1},
+		Exponential{Beta: 1},
+		Exponential{Beta: 5},
+		Exponential{Beta: 10},
+		Constant{},
+		Linear{Floor: 0},
+		Linear{Floor: 0.3},
+		Power{Gamma: 0.5},
+		Power{Gamma: 3},
+		SmoothStep{T: 0.7, K: 30},
+		pw,
+	}
+}
+
+func TestAllFamiliesSatisfyAssumption1(t *testing.T) {
+	for _, c := range allCurves() {
+		if err := Validate(c, 0); err != nil {
+			t.Errorf("family %s violates Assumption 1: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestExponentialMatchesPaperFormula(t *testing.T) {
+	// Spot-check Eq. 3 against hand-computed values.
+	e := Exponential{Beta: 5}
+	// ω = 0.9: d = exp(-5(1/0.9 - 1)) = exp(-5/9) ≈ 0.5738
+	if got, want := e.At(0.9), math.Exp(-5.0/9.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("At(0.9) = %v, want %v", got, want)
+	}
+	// The paper's §II-D.1 observation: β=5 halves demand on ~10% drop.
+	if d := e.At(0.9); d < 0.5 || d > 0.65 {
+		t.Errorf("β=5 at 10%% throughput drop gives %v; paper says demand roughly halves", d)
+	}
+}
+
+func TestExponentialBoundaries(t *testing.T) {
+	e := Exponential{Beta: 2}
+	if e.At(0) != 0 {
+		t.Error("d(0) should be 0 (continuous limit)")
+	}
+	if e.At(1) != 1 {
+		t.Error("d(1) should be 1")
+	}
+	if e.At(-0.5) != 0 || e.At(1.5) != 1 {
+		t.Error("out-of-domain values should clamp")
+	}
+}
+
+func TestExponentialSensitivityOrdering(t *testing.T) {
+	// Higher β must give (weakly) lower demand at every interior ω —
+	// that is what "more throughput-sensitive" means.
+	betas := []float64{0.1, 0.5, 1, 2, 5, 10}
+	for _, omega := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		prev := math.Inf(1)
+		for _, b := range betas {
+			d := Exponential{Beta: b}.At(omega)
+			if d > prev+1e-15 {
+				t.Fatalf("demand not decreasing in β at ω=%v", omega)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestConstantCurve(t *testing.T) {
+	c := Constant{}
+	for _, omega := range []float64{0, 0.5, 1} {
+		if c.At(omega) != 1 {
+			t.Fatalf("Constant.At(%v) != 1", omega)
+		}
+	}
+}
+
+func TestLinearCurve(t *testing.T) {
+	l := Linear{Floor: 0.4}
+	if got := l.At(0); got != 0.4 {
+		t.Errorf("At(0)=%v, want floor", got)
+	}
+	if got := l.At(0.5); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("At(0.5)=%v, want 0.7", got)
+	}
+	if got := l.At(1); got != 1 {
+		t.Errorf("At(1)=%v, want 1", got)
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	p := Power{Gamma: 2}
+	if got := p.At(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("At(0.5)=%v, want 0.25", got)
+	}
+	z := Power{Gamma: 0}
+	if z.At(0) != 1 || z.At(0.5) != 1 {
+		t.Error("γ=0 should degenerate to constant demand")
+	}
+}
+
+func TestSmoothStepBehavesLikeThreshold(t *testing.T) {
+	s := SmoothStep{T: 0.6, K: 40}
+	if d := s.At(0.2); d > 0.01 {
+		t.Errorf("well below threshold, demand = %v, want ~0", d)
+	}
+	if d := s.At(0.95); d < 0.95 {
+		t.Errorf("well above threshold, demand = %v, want ~1", d)
+	}
+	if s.At(1) != 1 {
+		t.Error("d(1) must be exactly 1")
+	}
+}
+
+func TestPiecewiseInterpolation(t *testing.T) {
+	p, err := NewPiecewise([]float64{0, 0.25, 1}, []float64{0.1, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(0.125); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("At(0.125)=%v, want 0.3", got)
+	}
+	if got := p.At(0.625); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("At(0.625)=%v, want 0.75", got)
+	}
+}
+
+func TestNewPiecewiseRejectsBadKnots(t *testing.T) {
+	cases := []struct {
+		name           string
+		omegas, levels []float64
+	}{
+		{"too-few", []float64{0}, []float64{1}},
+		{"mismatch", []float64{0, 1}, []float64{1}},
+		{"not-starting-at-0", []float64{0.1, 1}, []float64{0, 1}},
+		{"not-ending-at-1", []float64{0, 0.9}, []float64{0, 1}},
+		{"d1-not-1", []float64{0, 1}, []float64{0, 0.9}},
+		{"decreasing-levels", []float64{0, 0.5, 1}, []float64{0.5, 0.2, 1}},
+		{"non-increasing-omegas", []float64{0, 0.5, 0.5, 1}, []float64{0, 0.1, 0.2, 1}},
+		{"level-out-of-range", []float64{0, 0.5, 1}, []float64{-0.1, 0.5, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPiecewise(tc.omegas, tc.levels); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	if err := Validate(badDecreasing{}, 0); err == nil {
+		t.Error("Validate accepted a decreasing curve")
+	}
+	if err := Validate(badEndpoint{}, 0); err == nil {
+		t.Error("Validate accepted d(1) != 1")
+	}
+	if err := Validate(badJump{}, 0); err == nil {
+		t.Error("Validate accepted a discontinuous curve")
+	}
+	if err := Validate(badRange{}, 0); err == nil {
+		t.Error("Validate accepted d > 1")
+	}
+}
+
+type badDecreasing struct{}
+
+func (badDecreasing) At(omega float64) float64 {
+	if omega >= 1 {
+		return 1
+	}
+	return 0.8 - 0.5*omega // decreasing interior
+}
+func (badDecreasing) Name() string { return "bad-decreasing" }
+
+type badEndpoint struct{}
+
+func (badEndpoint) At(omega float64) float64 { return 0.9 * omega }
+func (badEndpoint) Name() string             { return "bad-endpoint" }
+
+type badJump struct{}
+
+func (badJump) At(omega float64) float64 {
+	if omega < 0.5 {
+		return 0
+	}
+	return 1
+}
+func (badJump) Name() string { return "bad-jump" }
+
+type badRange struct{}
+
+func (badRange) At(omega float64) float64 {
+	if omega >= 1 {
+		return 1
+	}
+	return 1.5 * omega
+}
+func (badRange) Name() string { return "bad-range" }
+
+// Property: every family is monotone non-decreasing between random pairs.
+func TestMonotonePropertyQuick(t *testing.T) {
+	r := numeric.NewRNG(101)
+	curves := allCurves()
+	f := func() bool {
+		c := curves[r.Intn(len(curves))]
+		a, b := r.Float64(), r.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)+1e-12
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all families stay within [0,1] for arbitrary (even out-of-domain)
+// inputs.
+func TestRangePropertyQuick(t *testing.T) {
+	r := numeric.NewRNG(103)
+	curves := allCurves()
+	f := func() bool {
+		c := curves[r.Intn(len(curves))]
+		omega := r.Uniform(-2, 3)
+		v := c.At(omega)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidateSamples is the default number of grid points used by Validate.
+const ValidateSamples = 2048
+
+// Validate checks a curve numerically against Assumption 1 of the paper on a
+// grid of n points (n <= 1 uses ValidateSamples): the curve must be
+// non-negative, bounded by 1, non-decreasing and approximately continuous on
+// [0, 1], and must satisfy d(1) = 1. Continuity is checked as a bounded
+// per-step jump: a genuinely discontinuous curve shows an O(1) jump between
+// adjacent grid points regardless of n, while any Lipschitz curve's steps
+// vanish as n grows; the threshold accepts steps up to 50/n.
+//
+// Validate returns nil if all checks pass, or an error naming the first
+// violated property.
+func Validate(c Curve, n int) error {
+	if n <= 1 {
+		n = ValidateSamples
+	}
+	prev := c.At(0)
+	if prev < 0 || prev > 1 {
+		return fmt.Errorf("demand %s: d(0) = %g outside [0,1]", c.Name(), prev)
+	}
+	maxStep := 50.0 / float64(n)
+	if maxStep > 0.5 {
+		maxStep = 0.5
+	}
+	for i := 1; i <= n; i++ {
+		omega := float64(i) / float64(n)
+		v := c.At(omega)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("demand %s: d(%g) is not finite", c.Name(), omega)
+		}
+		if v < 0 || v > 1+1e-12 {
+			return fmt.Errorf("demand %s: d(%g) = %g outside [0,1]", c.Name(), omega, v)
+		}
+		if v < prev-1e-12 {
+			return fmt.Errorf("demand %s: decreasing at ω=%g (%g -> %g)", c.Name(), omega, prev, v)
+		}
+		if v-prev > maxStep {
+			return fmt.Errorf("demand %s: jump of %g at ω=%g suggests discontinuity", c.Name(), v-prev, omega)
+		}
+		prev = v
+	}
+	if d1 := c.At(1); math.Abs(d1-1) > 1e-9 {
+		return fmt.Errorf("demand %s: d(1) = %g, want 1", c.Name(), d1)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package experiment defines the reproduction of every figure in the
+// paper's evaluation (Figures 2–5 and 7–12; Figures 1 and 6 are schematic
+// diagrams) plus the ablation studies called out in DESIGN.md. Each
+// experiment declares its workload and parameters and emits sweep tables —
+// the same series the paper plots — renderable as ASCII charts or CSV.
+//
+// Experiments are deterministic: the same Config produces identical output.
+// Config.Fast switches to reduced grids and smaller CP ensembles so the
+// entire registry can run inside the test suite; the default configuration
+// matches the paper (1000-CP ensembles, full grids) and is what the
+// benchmark harness runs.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed for the CP ensemble draw. 0 uses the repository default
+	// (traffic.DefaultSeed), which reproduces the published outputs.
+	Seed uint64
+	// CPs is the random-ensemble size. 0 means the paper's 1000 (or the
+	// fast-mode default of 120 when Fast is set).
+	CPs int
+	// Fast selects reduced grids for use in tests. Shapes are preserved;
+	// resolution is not.
+	Fast bool
+	// Workers bounds the parallelism across independent curves. 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return traffic.DefaultSeed
+	}
+	return c.Seed
+}
+
+func (c Config) cps() int {
+	if c.CPs > 0 {
+		return c.CPs
+	}
+	if c.Fast {
+		return 120
+	}
+	return 1000
+}
+
+// population draws the experiment ensemble under the given φ setting.
+func (c Config) population(phi traffic.PhiSetting) traffic.Population {
+	if c.seed() == traffic.DefaultSeed && c.cps() == 1000 {
+		return traffic.PaperPopulation(phi)
+	}
+	cfg := traffic.PaperEnsemble(phi)
+	cfg.N = c.cps()
+	pop := cfg.Generate(numeric.NewRNG(c.seed()))
+	if phi == traffic.PhiIndependent {
+		// Match PaperPopulation's convention: same characteristics, φ
+		// redrawn independently.
+		phiRNG := numeric.NewRNG(c.seed() + 1)
+		for i := range pop {
+			pop[i].Phi = phiRNG.Uniform(0, phiRNG.Uniform(0, 10))
+		}
+	}
+	return pop
+}
+
+// grid returns n evenly spaced points on [lo, hi], or nFast points in fast
+// mode.
+func (c Config) grid(lo, hi float64, n, nFast int) []float64 {
+	if c.Fast {
+		n = nFast
+	}
+	return numeric.Linspace(lo, hi, n)
+}
+
+// Experiment is one reproducible figure or ablation.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig4" or "ablation-mm1".
+	ID string
+	// Title is the paper's caption (or the ablation's description).
+	Title string
+	// Expect describes the qualitative shape the paper reports, recorded so
+	// EXPERIMENTS.md comparisons are self-contained.
+	Expect string
+	// Run executes the experiment and returns its tables.
+	Run func(cfg Config) []*sweep.Table
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) {
+	for _, old := range registry {
+		if old.ID == e.ID {
+			panic("experiment: duplicate id " + e.ID)
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID (figures first in
+// numeric order, then ablations alphabetically).
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+func lessID(a, b string) bool {
+	fa, fb := figNum(a), figNum(b)
+	switch {
+	case fa >= 0 && fb >= 0:
+		return fa < fb
+	case fa >= 0:
+		return true
+	case fb >= 0:
+		return false
+	default:
+		return a < b
+	}
+}
+
+func figNum(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n
+	}
+	return -1
+}
+
+// Get looks up an experiment by ID.
+func Get(id string) (*Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// MustRun runs the experiment with the config, panicking on unknown IDs.
+func MustRun(id string, cfg Config) []*sweep.Table {
+	e, ok := Get(id)
+	if !ok {
+		panic("experiment: unknown id " + id)
+	}
+	return e.Run(cfg)
+}

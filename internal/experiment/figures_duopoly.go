@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/netecon-sim/publicoption/internal/core"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Duopoly vs Public Option, κ_I=1: market share m_I, surplus Ψ_I, and Φ vs price c_I",
+		Expect: "m_I rises slightly above 1/2 while the premium class stays " +
+			"congested, then collapses; Ψ_I rises linearly then drops to " +
+			"zero much more steeply than the monopoly's; Φ never falls to " +
+			"zero (the Public Option backstop); peak Ψ_I can be lower at " +
+			"ν=200 than at ν=150.",
+		Run: runFig7(traffic.PhiCorrelated, "fig7"),
+	})
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Duopoly vs Public Option: Ψ_I, Φ and m_I under strategies (κ,c) vs ν",
+		Expect: "Ψ_I collapses sharply past its peak (unlike the monopoly's " +
+			"gradual decay); Φ is barely affected by ISP I's strategy; m_I " +
+			"slightly exceeds 1/2 under scarcity and stays at or below 1/2 " +
+			"when capacity is abundant.",
+		Run: runFig8(traffic.PhiCorrelated, "fig8"),
+	})
+	register(&Experiment{
+		ID:     "fig11",
+		Title:  "Appendix: Figure 7 under φ ~ U[0,U[0,10]]",
+		Expect: "Same qualitative behaviour as Figure 7.",
+		Run:    runFig7(traffic.PhiIndependent, "fig11"),
+	})
+	register(&Experiment{
+		ID:     "fig12",
+		Title:  "Appendix: Figure 8 under φ ~ U[0,U[0,10]]",
+		Expect: "Same qualitative behaviour as Figure 8.",
+		Run:    runFig8(traffic.PhiIndependent, "fig12"),
+	})
+}
+
+// runFig7 sweeps the duopoly game over ISP I's price at κ_I = 1 against a
+// Public Option ISP of equal capacity, for each paper capacity.
+func runFig7(phi traffic.PhiSetting, name string) func(Config) []*sweep.Table {
+	return func(cfg Config) []*sweep.Table {
+		pop := cfg.population(phi)
+		prices := cfg.grid(0, 1, 51, 11)
+		shareTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s (left): ISP I market share m_I vs c_I (κ_I=1)", name),
+			XLabel: "c", YLabel: "share",
+		}
+		psiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s (middle): ISP I per-capita surplus Ψ_I vs c_I (κ_I=1)", name),
+			XLabel: "c", YLabel: "psi",
+		}
+		phiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s (right): per-capita consumer surplus Φ vs c_I (κ_I=1)", name),
+			XLabel: "c", YLabel: "phi",
+		}
+		nus := scaledNus(pop)
+		shareS := make([]sweep.Series, len(nus))
+		psiS := make([]sweep.Series, len(nus))
+		phiS := make([]sweep.Series, len(nus))
+		tasks := make([]func(), len(nus))
+		for k, nu := range nus {
+			k, nu := k, nu
+			label := fmt.Sprintf("nu=%g", paperNus[k])
+			tasks[k] = func() {
+				mk := core.NewMarket(nil, pop, nu)
+				mk.MigrationTol = 1e-6
+				s1 := sweep.Series{Name: label}
+				s2 := sweep.Series{Name: label}
+				s3 := sweep.Series{Name: label}
+				for _, c := range prices {
+					out := mk.SolveDuopoly(
+						core.ISP{Name: "I", Gamma: 0.5, Strategy: core.Strategy{Kappa: 1, C: c}},
+						core.ISP{Name: "PO", Gamma: 0.5, Strategy: core.PublicOption},
+					)
+					// Ψ_I is revenue per capita of the whole market: the
+					// premium class serves ISP I's consumers only, so scale
+					// its per-subscriber surplus by the market share.
+					psi := out.Eqs[0].Psi() * out.Shares[0]
+					s1.Append(c, out.Shares[0])
+					s2.Append(c, psi)
+					s3.Append(c, out.Phi)
+				}
+				shareS[k], psiS[k], phiS[k] = s1, s2, s3
+			}
+		}
+		sweep.RunParallel(cfg.Workers, tasks)
+		for k := range nus {
+			shareTbl.Add(shareS[k])
+			psiTbl.Add(psiS[k])
+			phiTbl.Add(phiS[k])
+		}
+		return []*sweep.Table{shareTbl, psiTbl, phiTbl}
+	}
+}
+
+// runFig8 sweeps the duopoly game over system capacity for the 3×3 strategy
+// grid.
+func runFig8(phi traffic.PhiSetting, name string) func(Config) []*sweep.Table {
+	return func(cfg Config) []*sweep.Table {
+		pop := cfg.population(phi)
+		scale := pop.TotalUnconstrainedPerCapita() / paperSaturation
+		nus := cfg.grid(2*scale, 500*scale, 51, 18)
+		psiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s: ISP I per-capita surplus Ψ_I vs ν under strategies (κ,c)", name),
+			XLabel: "nu", YLabel: "psi",
+		}
+		phiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s: per-capita consumer surplus Φ vs ν under strategies (κ,c)", name),
+			XLabel: "nu", YLabel: "phi",
+		}
+		shareTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s: ISP I market share m_I vs ν under strategies (κ,c)", name),
+			XLabel: "nu", YLabel: "share",
+		}
+		psiS := make([]sweep.Series, len(paperStrategies))
+		phiS := make([]sweep.Series, len(paperStrategies))
+		shareS := make([]sweep.Series, len(paperStrategies))
+		tasks := make([]func(), len(paperStrategies))
+		for k, strat := range paperStrategies {
+			k, strat := k, strat
+			tasks[k] = func() {
+				label := fmt.Sprintf("k=%g,c=%g", strat.Kappa, strat.C)
+				s1 := sweep.Series{Name: label}
+				s2 := sweep.Series{Name: label}
+				s3 := sweep.Series{Name: label}
+				for _, nu := range nus {
+					mk := core.NewMarket(nil, pop, nu)
+					mk.MigrationTol = 1e-6
+					out := mk.SolveDuopoly(
+						core.ISP{Name: "I", Gamma: 0.5, Strategy: strat},
+						core.ISP{Name: "PO", Gamma: 0.5, Strategy: core.PublicOption},
+					)
+					s1.Append(nu, out.Eqs[0].Psi()*out.Shares[0])
+					s2.Append(nu, out.Phi)
+					s3.Append(nu, out.Shares[0])
+				}
+				psiS[k], phiS[k], shareS[k] = s1, s2, s3
+			}
+		}
+		sweep.RunParallel(cfg.Workers, tasks)
+		for k := range paperStrategies {
+			psiTbl.Add(psiS[k])
+			phiTbl.Add(phiS[k])
+			shareTbl.Add(shareS[k])
+		}
+		return []*sweep.Table{psiTbl, phiTbl, shareTbl}
+	}
+}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/netecon-sim/publicoption/internal/alloc"
+	"github.com/netecon-sim/publicoption/internal/core"
+	"github.com/netecon-sim/publicoption/internal/demand"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// Figure 4 / 7 capacity curves (per-capita ν) of the paper. They are
+// calibrated against the 1000-CP ensemble's saturation point of ≈ 250; when
+// a non-default ensemble is used (fast mode, custom sizes), scaledNus keeps
+// the same *relative* positions so every pricing regime still appears.
+var paperNus = []float64{20, 50, 100, 150, 200}
+
+// paperSaturation is E[Σ α_i·θ̂_i] for the paper's ensemble (§III-E).
+const paperSaturation = 250.0
+
+// scaledNus rescales the paper's capacity grid to the realized saturation
+// point of pop.
+func scaledNus(pop traffic.Population) []float64 {
+	scale := pop.TotalUnconstrainedPerCapita() / paperSaturation
+	out := make([]float64, len(paperNus))
+	for i, nu := range paperNus {
+		out[i] = nu * scale
+	}
+	return out
+}
+
+// Figure 5 / 8 strategy grid: "various strategies s_I = (κ, c)".
+var paperStrategies = []core.Strategy{
+	{Kappa: 0.2, C: 0.2}, {Kappa: 0.5, C: 0.2}, {Kappa: 0.9, C: 0.2},
+	{Kappa: 0.2, C: 0.5}, {Kappa: 0.5, C: 0.5}, {Kappa: 0.9, C: 0.5},
+	{Kappa: 0.2, C: 0.8}, {Kappa: 0.5, C: 0.8}, {Kappa: 0.9, C: 0.8},
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig2",
+		Title: "Demand function d_i(ω_i) for throughput sensitivities β",
+		Expect: "Exponential decay in congestion: at β=5 a 10% throughput " +
+			"drop roughly halves demand; β=0.1 is nearly insensitive.",
+		Run: runFig2,
+	})
+	register(&Experiment{
+		ID:    "fig3",
+		Title: "Throughput and demand under max-min fairness (3 archetype CPs) vs per-capita capacity ν",
+		Expect: "As ν grows, Google-type demand saturates first, then " +
+			"Skype-type, Netflix-type last; throughputs are monotone in ν.",
+		Run: runFig3,
+	})
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "Monopoly, κ=1: per-capita surplus Ψ and Φ vs premium price c",
+		Expect: "Three regimes: Ψ = c·ν while the class is congested; a " +
+			"revenue peak; then collapse as CPs become priced out. At " +
+			"abundant ν the revenue-optimal price under-utilizes capacity " +
+			"and hurts Φ.",
+		Run: runFig4(traffic.PhiCorrelated, "fig4"),
+	})
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "Monopoly: Ψ and Φ under strategies (κ,c) vs per-capita capacity ν",
+		Expect: "Ψ rises while the premium class is congested, then decays " +
+			"to zero as capacity becomes abundant (for small κ); higher κ " +
+			"holds more revenue at the cost of Φ; Φ grows with ν with only " +
+			"small downward glitches (ε_s).",
+		Run: runFig5(traffic.PhiCorrelated, "fig5"),
+	})
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Appendix: Figure 4's Φ under φ ~ U[0,U[0,10]] (independent of β)",
+		Expect: "Same qualitative regimes as Figure 4; CP decisions and Ψ " +
+			"are unchanged because φ only weighs the surplus.",
+		Run: runFig4(traffic.PhiIndependent, "fig9"),
+	})
+	register(&Experiment{
+		ID:     "fig10",
+		Title:  "Appendix: Figure 5's Φ under φ ~ U[0,U[0,10]]",
+		Expect: "Same qualitative shapes as Figure 5.",
+		Run:    runFig5(traffic.PhiIndependent, "fig10"),
+	})
+}
+
+func runFig2(cfg Config) []*sweep.Table {
+	betas := []float64{0.1, 0.5, 1, 2, 5, 10}
+	omegas := cfg.grid(0.01, 1, 200, 50)
+	tbl := &sweep.Table{
+		Title:  "Fig 2: demand d(ω) = exp(-β(1/ω - 1))",
+		XLabel: "omega",
+		YLabel: "demand",
+	}
+	for _, beta := range betas {
+		curve := demand.Exponential{Beta: beta}
+		tbl.Add(sweep.Map(fmt.Sprintf("beta=%g", beta), omegas, curve.At))
+	}
+	return []*sweep.Table{tbl}
+}
+
+func runFig3(cfg Config) []*sweep.Table {
+	pop := traffic.Archetypes()
+	nus := cfg.grid(0, 6000, 241, 61)
+	thetaTbl := &sweep.Table{
+		Title:  "Fig 3 (top): achievable throughput θ_i under max-min vs ν (Kbps)",
+		XLabel: "nu",
+		YLabel: "theta",
+	}
+	demandTbl := &sweep.Table{
+		Title:  "Fig 3 (bottom): demand d_i(θ_i) vs ν (Kbps)",
+		XLabel: "nu",
+		YLabel: "demand",
+	}
+	series := make([]sweep.Series, len(pop))
+	dSeries := make([]sweep.Series, len(pop))
+	for i := range pop {
+		series[i] = sweep.Series{Name: pop[i].Name}
+		dSeries[i] = sweep.Series{Name: pop[i].Name}
+	}
+	for _, nu := range nus {
+		res := alloc.Solve(alloc.MaxMin{}, nu, pop)
+		for i := range pop {
+			series[i].Append(nu, res.Theta[i])
+			dSeries[i].Append(nu, res.Demand(i))
+		}
+	}
+	for i := range pop {
+		thetaTbl.Add(series[i])
+		demandTbl.Add(dSeries[i])
+	}
+	return []*sweep.Table{thetaTbl, demandTbl}
+}
+
+// runFig4 builds the Figure 4 (or appendix Figure 9) runner: κ=1 price
+// sweeps for each paper capacity, parallel across capacities.
+func runFig4(phi traffic.PhiSetting, name string) func(Config) []*sweep.Table {
+	return func(cfg Config) []*sweep.Table {
+		pop := cfg.population(phi)
+		prices := cfg.grid(0, 1, 101, 21)
+		psiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s (left): per-capita ISP surplus Ψ vs price c (κ=1)", name),
+			XLabel: "c",
+			YLabel: "psi",
+		}
+		phiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s (right): per-capita consumer surplus Φ vs price c (κ=1)", name),
+			XLabel: "c",
+			YLabel: "phi",
+		}
+		nus := scaledNus(pop)
+		psiS := make([]sweep.Series, len(nus))
+		phiS := make([]sweep.Series, len(nus))
+		tasks := make([]func(), len(nus))
+		for k, nu := range nus {
+			k, nu := k, nu
+			label := fmt.Sprintf("nu=%g", paperNus[k])
+			tasks[k] = func() {
+				mono := core.NewMonopoly(nil)
+				psi, phiV := mono.RevenueCurve(1, prices, nu, pop)
+				s1 := sweep.Series{Name: label}
+				s2 := sweep.Series{Name: label}
+				for i := range prices {
+					s1.Append(prices[i], psi[i])
+					s2.Append(prices[i], phiV[i])
+				}
+				psiS[k], phiS[k] = s1, s2
+			}
+		}
+		sweep.RunParallel(cfg.Workers, tasks)
+		for k := range nus {
+			psiTbl.Add(psiS[k])
+			phiTbl.Add(phiS[k])
+		}
+		return []*sweep.Table{psiTbl, phiTbl}
+	}
+}
+
+// runFig5 builds the Figure 5 (or appendix Figure 10) runner: capacity
+// sweeps for the 3×3 strategy grid, parallel across strategies.
+func runFig5(phi traffic.PhiSetting, name string) func(Config) []*sweep.Table {
+	return func(cfg Config) []*sweep.Table {
+		pop := cfg.population(phi)
+		scale := pop.TotalUnconstrainedPerCapita() / paperSaturation
+		nus := cfg.grid(2*scale, 500*scale, 101, 26)
+		psiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s: per-capita ISP surplus Ψ vs ν under strategies (κ,c)", name),
+			XLabel: "nu",
+			YLabel: "psi",
+		}
+		phiTbl := &sweep.Table{
+			Title:  fmt.Sprintf("%s: per-capita consumer surplus Φ vs ν under strategies (κ,c)", name),
+			XLabel: "nu",
+			YLabel: "phi",
+		}
+		psiS := make([]sweep.Series, len(paperStrategies))
+		phiS := make([]sweep.Series, len(paperStrategies))
+		tasks := make([]func(), len(paperStrategies))
+		for k, strat := range paperStrategies {
+			k, strat := k, strat
+			tasks[k] = func() {
+				mono := core.NewMonopoly(nil)
+				psi, phiV := mono.CapacityCurve(strat, nus, pop)
+				label := fmt.Sprintf("k=%g,c=%g", strat.Kappa, strat.C)
+				s1 := sweep.Series{Name: label}
+				s2 := sweep.Series{Name: label}
+				for i := range nus {
+					s1.Append(nus[i], psi[i])
+					s2.Append(nus[i], phiV[i])
+				}
+				psiS[k], phiS[k] = s1, s2
+			}
+		}
+		sweep.RunParallel(cfg.Workers, tasks)
+		for k := range paperStrategies {
+			psiTbl.Add(psiS[k])
+			phiTbl.Add(phiS[k])
+		}
+		return []*sweep.Table{psiTbl, phiTbl}
+	}
+}

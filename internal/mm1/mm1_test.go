@@ -1,0 +1,143 @@
+package mm1
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+func ensemble(seed uint64, n int) traffic.Population {
+	cfg := traffic.PaperEnsemble(traffic.PhiCorrelated)
+	cfg.N = n
+	return cfg.Generate(numeric.NewRNG(seed))
+}
+
+func TestSolveStability(t *testing.T) {
+	pop := ensemble(1, 50)
+	eq := Solve(5, pop)
+	// The carried load must leave headroom 1/W: λ = ν − 1/W < ν.
+	if eq.TotalLoad() >= eq.Nu {
+		t.Fatalf("load %v >= capacity %v (unstable queue)", eq.TotalLoad(), eq.Nu)
+	}
+	if eq.W <= 0 {
+		t.Fatalf("W = %v, want positive", eq.W)
+	}
+	// Self-consistency: λ(W) = ν − 1/W.
+	if got, want := eq.TotalLoad(), eq.Nu-1/eq.W; math.Abs(got-want) > 1e-6*eq.Nu {
+		t.Fatalf("fixed point violated: λ=%v, ν−1/W=%v", got, want)
+	}
+}
+
+func TestSolveMoreCapacityLessDelay(t *testing.T) {
+	pop := ensemble(2, 50)
+	prevW := math.Inf(1)
+	prevPhi := -1.0
+	for _, nu := range []float64{1, 2, 5, 10, 50} {
+		eq := Solve(nu, pop)
+		if eq.W >= prevW {
+			t.Fatalf("delay did not fall with capacity: %v -> %v at ν=%v", prevW, eq.W, nu)
+		}
+		if phi := eq.Phi(); phi < prevPhi {
+			t.Fatalf("surplus fell with capacity at ν=%v", nu)
+		} else {
+			prevPhi = phi
+		}
+		prevW = eq.W
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	pop := ensemble(3, 10)
+	if eq := Solve(0, pop); !math.IsInf(eq.W, 1) || eq.TotalLoad() != 0 {
+		t.Error("ν=0 should give infinite delay, zero load")
+	}
+	if eq := Solve(5, nil); eq.TotalLoad() != 0 || eq.Phi() != 0 {
+		t.Error("empty population should carry nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative ν accepted")
+		}
+	}()
+	Solve(-1, pop)
+}
+
+func TestSolveClassesKappaZero(t *testing.T) {
+	pop := ensemble(4, 40)
+	out := SolveClasses(0, 0.5, 5, pop, 0)
+	for i, p := range out.InPremium {
+		if p {
+			t.Fatalf("CP %d in premium under κ=0", i)
+		}
+	}
+	if out.Psi() != 0 {
+		t.Fatal("κ=0 revenue must be zero")
+	}
+}
+
+func TestSolveClassesRevenuePeaksInterior(t *testing.T) {
+	pop := ensemble(5, 60)
+	nu := 3.0
+	var prev float64
+	peaked := false
+	for _, c := range numeric.Linspace(0.02, 0.98, 25) {
+		out := SolveClasses(1, c, nu, pop, 0)
+		psi := out.Psi()
+		if psi < prev {
+			peaked = true
+		}
+		prev = psi
+	}
+	if !peaked {
+		t.Error("M/M/1 revenue curve should peak and decline within c ∈ (0,1)")
+	}
+	// At unaffordable prices the premium queue is empty.
+	out := SolveClasses(1, 1.2, nu, pop, 0)
+	if out.Psi() != 0 {
+		t.Errorf("Ψ at c=1.2 is %v, want 0", out.Psi())
+	}
+}
+
+func TestSolveClassesPremiumHasLowerDelay(t *testing.T) {
+	// Whenever both queues carry CPs, the premium queue must offer lower
+	// delay — otherwise nobody would pay.
+	pop := ensemble(6, 60)
+	out := SolveClasses(0.5, 0.3, 4, pop, 0)
+	nP := 0
+	for _, p := range out.InPremium {
+		if p {
+			nP++
+		}
+	}
+	if nP == 0 || nP == len(pop) {
+		t.Skip("degenerate partition on this draw")
+	}
+	if out.Premium.W >= out.Ordinary.W {
+		t.Errorf("premium delay %v >= ordinary delay %v", out.Premium.W, out.Ordinary.W)
+	}
+}
+
+func TestSolveClassesPanicsOnBadStrategy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveClasses(1.5, 0, 1, ensemble(7, 5), 0)
+}
+
+// The headline qualitative difference between the abstractions (§V): under
+// M/M/1 the queue always leaves capacity headroom (λ < ν strictly, delay
+// cost), while the TCP/max-min model is work-conserving (λ = ν under
+// congestion). The ablation bench quantifies this; here we pin it.
+func TestMM1NeverWorkConserving(t *testing.T) {
+	pop := ensemble(8, 80)
+	for _, nu := range []float64{1, 5, 20} {
+		eq := Solve(nu, pop)
+		if eq.TotalLoad() > eq.Nu*(1-1e-9) {
+			t.Fatalf("M/M/1 carried the full capacity at ν=%v", nu)
+		}
+	}
+}

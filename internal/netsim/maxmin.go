@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// MaxMinRates returns the analytic max-min fair allocation of capacity
+// among flows with the given rate caps (math.Inf(1) or 0 for uncapped):
+// every flow receives min(cap, τ) where the water level τ exhausts capacity
+// (or all caps, whichever binds first). This is the reference the simulator
+// is validated against.
+func MaxMinRates(capacity float64, caps []float64) []float64 {
+	n := len(caps)
+	out := make([]float64, n)
+	if n == 0 || capacity <= 0 {
+		return out
+	}
+	eff := make([]float64, n)
+	total := 0.0
+	finiteMax := 0.0
+	for i, c := range caps {
+		if c <= 0 || math.IsInf(c, 1) {
+			eff[i] = math.Inf(1)
+		} else {
+			eff[i] = c
+			if c > finiteMax {
+				finiteMax = c
+			}
+		}
+		if !math.IsInf(eff[i], 1) {
+			total += eff[i]
+		}
+	}
+	hasUncapped := false
+	for i := range eff {
+		if math.IsInf(eff[i], 1) {
+			hasUncapped = true
+			break
+		}
+	}
+	if !hasUncapped && capacity >= total {
+		copy(out, eff)
+		return out
+	}
+	// Water level: Σ min(cap_i, τ) = capacity. With uncapped flows present
+	// the sum is unbounded in τ, so a solution always exists; otherwise
+	// capacity < Σcaps guarantees one below max(caps).
+	hi := finiteMax
+	if hasUncapped {
+		hi = capacity // an uncapped flow can at most take the whole link
+	}
+	tau := numeric.Bisect(func(t float64) float64 {
+		var s float64
+		for i := range eff {
+			s += math.Min(eff[i], t)
+		}
+		return s - capacity
+	}, 0, hi, 1e-12*math.Max(hi, 1))
+	for i := range eff {
+		out[i] = math.Min(eff[i], tau)
+	}
+	return out
+}
+
+// FairnessReport compares measured flow rates against the analytic max-min
+// allocation.
+type FairnessReport struct {
+	Analytic  []float64 // per-flow max-min reference
+	MaxRelErr float64   // worst |measured − analytic| / water level
+	Jain      float64   // Jain index of the measured uncapped rates
+}
+
+// CompareMaxMin builds a FairnessReport for a simulation result. Relative
+// error is measured against the analytic water level (not per-flow values,
+// which may be near zero for tightly capped flows).
+func CompareMaxMin(res *Result, flows []Flow, capacity float64) FairnessReport {
+	caps := make([]float64, len(flows))
+	for i := range flows {
+		caps[i] = flows[i].Cap
+	}
+	analytic := MaxMinRates(capacity, caps)
+	level := 0.0
+	for _, a := range analytic {
+		if a > level {
+			level = a
+		}
+	}
+	rep := FairnessReport{Analytic: analytic, Jain: res.Jain}
+	for i := range flows {
+		err := math.Abs(res.Flows[i].Rate-analytic[i]) / math.Max(level, 1e-300)
+		if err > rep.MaxRelErr {
+			rep.MaxRelErr = err
+		}
+	}
+	return rep
+}

@@ -1,0 +1,332 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+func TestTwoEqualFlowsShareEvenly(t *testing.T) {
+	cfg := Config{Capacity: 100}
+	flows := []Flow{
+		{Name: "a", RTT: 0.05},
+		{Name: "b", RTT: 0.05},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jain < 0.98 {
+		t.Errorf("Jain = %v, want near 1 for equal flows", res.Jain)
+	}
+	for _, f := range res.Flows {
+		if f.Rate < 40 || f.Rate > 60 {
+			t.Errorf("flow %s rate %v, want ≈ 50", f.Name, f.Rate)
+		}
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("utilization %v, want > 0.9", res.Utilization)
+	}
+}
+
+func TestManyFlowsMaxMin(t *testing.T) {
+	cfg := Config{Capacity: 100}
+	var flows []Flow
+	for i := 0; i < 20; i++ {
+		flows = append(flows, Flow{Name: "f", RTT: 0.05})
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareMaxMin(res, flows, cfg.Capacity)
+	if rep.MaxRelErr > 0.2 {
+		t.Errorf("worst deviation from max-min %v, want < 20%%", rep.MaxRelErr)
+	}
+	if res.Jain < 0.95 {
+		t.Errorf("Jain = %v", res.Jain)
+	}
+}
+
+func TestCappedFlowsWaterFill(t *testing.T) {
+	// One tightly capped flow; the elastic flows share the remainder. The
+	// max-min reference: capped flow pinned at its cap, others at the
+	// water level.
+	cfg := Config{Capacity: 100}
+	flows := []Flow{
+		{Name: "capped", RTT: 0.05, Cap: 5},
+		{Name: "e1", RTT: 0.05},
+		{Name: "e2", RTT: 0.05},
+		{Name: "e3", RTT: 0.05},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Flows[0].Rate; math.Abs(r-5) > 1 {
+		t.Errorf("capped flow rate %v, want ≈ 5", r)
+	}
+	rep := CompareMaxMin(res, flows, cfg.Capacity)
+	if rep.MaxRelErr > 0.2 {
+		t.Errorf("max-min deviation %v", rep.MaxRelErr)
+	}
+}
+
+func TestRTTBias(t *testing.T) {
+	// AIMD favors short RTTs; the paper acknowledges this ("differing round
+	// trip times ... can result in different bandwidths") while using
+	// max-min as the first-order model. The bias must appear and point the
+	// right way.
+	cfg := Config{Capacity: 100}
+	flows := []Flow{
+		{Name: "short", RTT: 0.02},
+		{Name: "long", RTT: 0.1},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Rate <= res.Flows[1].Rate {
+		t.Errorf("short-RTT flow (%v) should outrun long-RTT flow (%v)",
+			res.Flows[0].Rate, res.Flows[1].Rate)
+	}
+}
+
+func TestUncongestedLinkDeliversCaps(t *testing.T) {
+	cfg := Config{Capacity: 1000}
+	flows := []Flow{
+		{Name: "a", RTT: 0.05, Cap: 10},
+		{Name: "b", RTT: 0.05, Cap: 20},
+	}
+	res, err := Run(cfg, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flows[0].Rate-10) > 1 || math.Abs(res.Flows[1].Rate-20) > 2 {
+		t.Errorf("uncongested rates = %v, %v; want caps 10, 20", res.Flows[0].Rate, res.Flows[1].Rate)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{Capacity: 50, Seed: 42}
+	flows := []Flow{{Name: "a", RTT: 0.03}, {Name: "b", RTT: 0.07}}
+	r1, err1 := Run(cfg, flows)
+	r2, err2 := Run(cfg, flows)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range r1.Flows {
+		if r1.Flows[i].Rate != r2.Flows[i].Rate {
+			t.Fatal("same seed, different rates")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Capacity: 0}, []Flow{{RTT: 0.05}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Run(Config{Capacity: 10}, nil); err != ErrNoFlows {
+		t.Errorf("empty flows: err = %v, want ErrNoFlows", err)
+	}
+	if _, err := Run(Config{Capacity: 10}, []Flow{{RTT: 0}}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if _, err := Run(Config{Capacity: 10}, []Flow{{RTT: 0.05, Cap: math.NaN()}}); err == nil {
+		t.Error("NaN cap accepted")
+	}
+}
+
+func TestMaxMinRatesAnalytic(t *testing.T) {
+	// capacity 100, caps (10, 30, ∞, ∞): water level solves
+	// 10 + 30 + 2τ = 100 → wait, 30 > τ? τ = 30: 10+30+60 = 100. So
+	// τ = 30 exactly: rates (10, 30, 30, 30).
+	rates := MaxMinRates(100, []float64{10, 30, 0, 0})
+	want := []float64{10, 30, 30, 30}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-6 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+	// All capped, abundant capacity: everyone gets their cap.
+	rates = MaxMinRates(100, []float64{5, 10})
+	if rates[0] != 5 || rates[1] != 10 {
+		t.Fatalf("abundant: rates = %v", rates)
+	}
+	// Empty and zero-capacity cases.
+	if out := MaxMinRates(0, []float64{5}); out[0] != 0 {
+		t.Fatal("zero capacity should allocate nothing")
+	}
+	if out := MaxMinRates(10, nil); len(out) != 0 {
+		t.Fatal("no flows should yield empty allocation")
+	}
+}
+
+func TestDemandEquilibriumMatchesAnalytic(t *testing.T) {
+	// Close the demand/TCP loop on a scaled-down archetype population and
+	// compare with the analytic Theorem 1 equilibrium. This is the
+	// cross-substrate integration test for Assumption 2.
+	pop := traffic.Archetypes()
+	const m = 40
+	nu := 2000.0 // Kbps per capita; heavily congested (saturation 5500)
+	res, err := SolveDemandEquilibrium(DemandConfig{
+		Pop:      pop,
+		M:        m,
+		Capacity: nu * m,
+		Rounds:   10,
+		Sim:      Config{Warmup: 5, Measure: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelErr > 0.15 {
+		t.Errorf("TCP-loop θ deviates from analytic by %v (θ: %v, analytic: %v)",
+			res.MaxRelErr, res.Theta, res.Analytic)
+	}
+}
+
+func TestDemandEquilibriumUncongested(t *testing.T) {
+	pop := traffic.Archetypes()
+	const m = 20
+	res, err := SolveDemandEquilibrium(DemandConfig{
+		Pop:      pop,
+		M:        m,
+		Capacity: 8000 * m, // above saturation 5500
+		Rounds:   6,
+		Sim:      Config{Warmup: 5, Measure: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pop {
+		if res.Theta[i] < 0.85*pop[i].ThetaHat {
+			t.Errorf("uncongested θ_%d = %v, want ≈ θ̂ = %v", i, res.Theta[i], pop[i].ThetaHat)
+		}
+	}
+}
+
+func TestDemandEquilibriumValidation(t *testing.T) {
+	if _, err := SolveDemandEquilibrium(DemandConfig{M: 0, Pop: traffic.Archetypes(), Capacity: 10}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := SolveDemandEquilibrium(DemandConfig{M: 5, Capacity: 10}); err == nil {
+		t.Error("empty population accepted")
+	}
+}
+
+func TestREDImprovesOrMatchesFairness(t *testing.T) {
+	// RED de-synchronizes AIMD halvings; with many flows its Jain index
+	// should be at least in the same band as droptail's and the standing
+	// queue shorter.
+	flows := make([]Flow, 16)
+	for i := range flows {
+		flows[i] = Flow{Name: "f", RTT: 0.05}
+	}
+	dt, err := Run(Config{Capacity: 100, Seed: 5}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Run(Config{Capacity: 100, Seed: 5, Discipline: RED}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Jain < dt.Jain-0.05 {
+		t.Errorf("RED Jain %v far below droptail %v", red.Jain, dt.Jain)
+	}
+	if red.AvgQueue >= dt.AvgQueue {
+		t.Errorf("RED standing queue %v not below droptail %v", red.AvgQueue, dt.AvgQueue)
+	}
+	if red.Utilization < 0.85 {
+		t.Errorf("RED utilization %v too low", red.Utilization)
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if DropTail.String() != "droptail" || RED.String() != "red" {
+		t.Fatal("Discipline String broken")
+	}
+}
+
+func TestREDStillMaxMinWithCaps(t *testing.T) {
+	flows := []Flow{
+		{Name: "capped", RTT: 0.05, Cap: 10},
+		{Name: "e1", RTT: 0.05},
+		{Name: "e2", RTT: 0.05},
+	}
+	res, err := Run(Config{Capacity: 100, Discipline: RED}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareMaxMin(res, flows, 100)
+	if rep.MaxRelErr > 0.25 {
+		t.Errorf("RED max-min deviation %v too large", rep.MaxRelErr)
+	}
+}
+
+func TestSingleFlowTakesLink(t *testing.T) {
+	res, err := Run(Config{Capacity: 50}, []Flow{{Name: "solo", RTT: 0.04}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Rate < 45 {
+		t.Errorf("solo flow rate %v, want ≈ capacity 50", res.Flows[0].Rate)
+	}
+}
+
+func TestTinyBufferStillConverges(t *testing.T) {
+	// A buffer below one MSS forces constant loss pressure; the simulation
+	// must stay finite and keep reasonable utilization.
+	flows := []Flow{{Name: "a", RTT: 0.05}, {Name: "b", RTT: 0.05}}
+	res, err := Run(Config{Capacity: 100, Buffer: 0.05}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Flows {
+		if math.IsNaN(f.Rate) || f.Rate < 0 {
+			t.Fatalf("flow rate %v invalid under tiny buffer", f.Rate)
+		}
+	}
+	if res.Utilization < 0.5 {
+		t.Errorf("utilization %v collapsed under tiny buffer", res.Utilization)
+	}
+}
+
+func TestManyFlowsStayFair(t *testing.T) {
+	flows := make([]Flow, 100)
+	for i := range flows {
+		flows[i] = Flow{Name: "f", RTT: 0.05}
+	}
+	res, err := Run(Config{Capacity: 200}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jain < 0.9 {
+		t.Errorf("Jain %v with 100 flows", res.Jain)
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("utilization %v with 100 flows", res.Utilization)
+	}
+}
+
+func TestExtremeRTTHeterogeneityBounded(t *testing.T) {
+	// 1 ms vs 1 s RTTs: the short flow dominates but the long flow is not
+	// starved to zero, and nothing diverges.
+	flows := []Flow{
+		{Name: "lan", RTT: 0.001},
+		{Name: "geo", RTT: 1.0},
+	}
+	res, err := Run(Config{Capacity: 100, Measure: 40}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Rate <= res.Flows[1].Rate {
+		t.Error("RTT bias direction wrong")
+	}
+	if res.Flows[1].Rate <= 0 {
+		t.Error("long-RTT flow fully starved")
+	}
+	if total := res.Flows[0].Rate + res.Flows[1].Rate; total > 105 {
+		t.Errorf("delivered %v exceeds capacity", total)
+	}
+}

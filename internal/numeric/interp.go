@@ -1,0 +1,180 @@
+package numeric
+
+import "sort"
+
+// Interpolator evaluates a function fitted through sample points.
+type Interpolator interface {
+	// At returns the interpolated value at x. Outside the sample range the
+	// boundary value is extended (constant extrapolation).
+	At(x float64) float64
+}
+
+// LinearInterp is a piecewise-linear interpolator over strictly increasing
+// sample abscissae.
+type LinearInterp struct {
+	xs, ys []float64
+}
+
+// NewLinearInterp builds a piecewise-linear interpolator through (xs, ys).
+// xs must be strictly increasing and the slices non-empty and equal length;
+// otherwise it panics, since malformed knots are a programming error.
+func NewLinearInterp(xs, ys []float64) *LinearInterp {
+	validateKnots(xs, ys)
+	return &LinearInterp{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+}
+
+// At returns the piecewise-linear value at x with constant extrapolation.
+func (l *LinearInterp) At(x float64) float64 {
+	if len(l.xs) == 1 {
+		return l.ys[0]
+	}
+	i, t, ok := locate(l.xs, x)
+	if !ok {
+		if x <= l.xs[0] {
+			return l.ys[0]
+		}
+		return l.ys[len(l.ys)-1]
+	}
+	return l.ys[i]*(1-t) + l.ys[i+1]*t
+}
+
+// PCHIP is a monotone piecewise-cubic Hermite interpolator (Fritsch–Carlson).
+// Unlike natural cubic splines it never overshoots: if the data are
+// monotone the interpolant is monotone, which is exactly the guarantee we
+// need when interpolating equilibrium curves such as θ_i(ν) whose
+// monotonicity is a theorem (Lemma 1).
+type PCHIP struct {
+	xs, ys, ds []float64 // knots, values, endpoint derivatives per knot
+}
+
+// NewPCHIP builds a monotone cubic interpolator through (xs, ys). The same
+// knot validity rules as NewLinearInterp apply.
+func NewPCHIP(xs, ys []float64) *PCHIP {
+	validateKnots(xs, ys)
+	n := len(xs)
+	p := &PCHIP{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		ds: make([]float64, n),
+	}
+	if n == 1 {
+		return p
+	}
+	// Secant slopes.
+	h := make([]float64, n-1)
+	delta := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		h[i] = xs[i+1] - xs[i]
+		delta[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	// Interior derivatives: weighted harmonic mean where slopes agree in
+	// sign, zero otherwise (the Fritsch–Carlson monotonicity condition).
+	for i := 1; i < n-1; i++ {
+		if delta[i-1]*delta[i] <= 0 {
+			p.ds[i] = 0
+			continue
+		}
+		w1 := 2*h[i] + h[i-1]
+		w2 := h[i] + 2*h[i-1]
+		p.ds[i] = (w1 + w2) / (w1/delta[i-1] + w2/delta[i])
+	}
+	// One-sided endpoint derivatives, clamped to preserve monotonicity.
+	p.ds[0] = endpointSlope(h[0], delta[0], hAt(h, 1), deltaAt(delta, 1))
+	p.ds[n-1] = endpointSlope(h[n-2], delta[n-2], hAt(h, n-3), deltaAt(delta, n-3))
+	return p
+}
+
+func hAt(h []float64, i int) float64 {
+	if i < 0 || i >= len(h) {
+		return 0
+	}
+	return h[i]
+}
+
+func deltaAt(d []float64, i int) float64 {
+	if i < 0 || i >= len(d) {
+		return 0
+	}
+	return d[i]
+}
+
+// endpointSlope implements the standard three-point endpoint formula with the
+// Fritsch–Carlson clamps.
+func endpointSlope(h0, d0, h1, d1 float64) float64 {
+	if h1 == 0 {
+		// Only one interval: use its secant slope.
+		return d0
+	}
+	s := ((2*h0+h1)*d0 - h0*d1) / (h0 + h1)
+	if s*d0 <= 0 {
+		return 0
+	}
+	if d0*d1 <= 0 && absf(s) > 3*absf(d0) {
+		return 3 * d0
+	}
+	return s
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// At evaluates the monotone cubic at x with constant extrapolation.
+func (p *PCHIP) At(x float64) float64 {
+	if len(p.xs) == 1 {
+		return p.ys[0]
+	}
+	i, _, ok := locate(p.xs, x)
+	if !ok {
+		if x <= p.xs[0] {
+			return p.ys[0]
+		}
+		return p.ys[len(p.ys)-1]
+	}
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	t2 := t * t
+	t3 := t2 * t
+	h00 := 2*t3 - 3*t2 + 1
+	h10 := t3 - 2*t2 + t
+	h01 := -2*t3 + 3*t2
+	h11 := t3 - t2
+	return h00*p.ys[i] + h10*h*p.ds[i] + h01*p.ys[i+1] + h11*h*p.ds[i+1]
+}
+
+// locate returns the index i of the interval [xs[i], xs[i+1]] containing x
+// and the normalized position t within it. ok is false when x is outside the
+// knot range.
+func locate(xs []float64, x float64) (i int, t float64, ok bool) {
+	if x < xs[0] || x > xs[len(xs)-1] {
+		return 0, 0, false
+	}
+	// sort.SearchFloat64s finds the leftmost index with xs[idx] >= x.
+	idx := sort.SearchFloat64s(xs, x)
+	if idx == 0 {
+		return 0, 0, true
+	}
+	if idx == len(xs) {
+		idx = len(xs) - 1
+	}
+	i = idx - 1
+	if xs[idx] == x {
+		i = idx - 1
+	}
+	t = (x - xs[i]) / (xs[i+1] - xs[i])
+	return i, t, true
+}
+
+func validateKnots(xs, ys []float64) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("numeric: interpolator needs equal-length, non-empty knots")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			panic("numeric: interpolator abscissae must be strictly increasing")
+		}
+	}
+}

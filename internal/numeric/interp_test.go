@@ -1,0 +1,149 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearInterpExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{1, 3, 2, 8}
+	li := NewLinearInterp(xs, ys)
+	for i := range xs {
+		if got := li.At(xs[i]); math.Abs(got-ys[i]) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestLinearInterpMidpoint(t *testing.T) {
+	li := NewLinearInterp([]float64{0, 2}, []float64{0, 10})
+	if got := li.At(1); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("At(1) = %v, want 5", got)
+	}
+}
+
+func TestLinearInterpExtrapolatesConstant(t *testing.T) {
+	li := NewLinearInterp([]float64{1, 2}, []float64{5, 7})
+	if li.At(-10) != 5 || li.At(100) != 7 {
+		t.Fatal("constant extrapolation broken")
+	}
+}
+
+func TestLinearInterpSingleKnot(t *testing.T) {
+	li := NewLinearInterp([]float64{3}, []float64{9})
+	if li.At(0) != 9 || li.At(3) != 9 || li.At(10) != 9 {
+		t.Fatal("single-knot interpolation broken")
+	}
+}
+
+func TestInterpPanicsOnBadKnots(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []float64{1, 2}, []float64{1}},
+		{"non-increasing", []float64{1, 1}, []float64{0, 0}},
+		{"decreasing", []float64{2, 1}, []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewLinearInterp(tc.xs, tc.ys)
+		})
+	}
+}
+
+func TestPCHIPExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 3, 4, 7}
+	ys := []float64{0, 2, 2.5, 6, 6.5}
+	p := NewPCHIP(xs, ys)
+	for i := range xs {
+		if got := p.At(xs[i]); math.Abs(got-ys[i]) > 1e-10 {
+			t.Fatalf("At(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestPCHIPPreservesMonotonicity(t *testing.T) {
+	// Data with a steep step: natural cubic splines overshoot here; PCHIP
+	// must not.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 0.01, 0.02, 5, 5.01, 5.02}
+	p := NewPCHIP(xs, ys)
+	prev := p.At(0)
+	for _, x := range Linspace(0, 5, 501)[1:] {
+		cur := p.At(x)
+		if cur < prev-1e-9 {
+			t.Fatalf("PCHIP not monotone at x=%v: %v < %v", x, cur, prev)
+		}
+		if cur > 5.02+1e-9 || cur < -1e-9 {
+			t.Fatalf("PCHIP overshoots data range at x=%v: %v", x, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPCHIPFlatData(t *testing.T) {
+	p := NewPCHIP([]float64{0, 1, 2}, []float64{4, 4, 4})
+	for _, x := range []float64{0, 0.3, 1.7, 2} {
+		if got := p.At(x); math.Abs(got-4) > 1e-12 {
+			t.Fatalf("flat PCHIP At(%v)=%v", x, got)
+		}
+	}
+}
+
+func TestPCHIPNonMonotoneDataNoSpuriousExtrema(t *testing.T) {
+	// A single hump: interpolant must stay within [min(ys), max(ys)].
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 1, 0}
+	p := NewPCHIP(xs, ys)
+	for _, x := range Linspace(0, 4, 401) {
+		v := p.At(x)
+		if v < -1e-9 || v > 4+1e-9 {
+			t.Fatalf("PCHIP outside data hull at x=%v: %v", x, v)
+		}
+	}
+}
+
+func TestPCHIPTwoPointsIsLinear(t *testing.T) {
+	p := NewPCHIP([]float64{0, 2}, []float64{0, 4})
+	for _, x := range []float64{0, 0.5, 1, 1.5, 2} {
+		if got := p.At(x); math.Abs(got-2*x) > 1e-9 {
+			t.Fatalf("two-point PCHIP At(%v)=%v, want %v", x, got, 2*x)
+		}
+	}
+}
+
+func TestPCHIPSingleKnot(t *testing.T) {
+	p := NewPCHIP([]float64{1}, []float64{2})
+	if p.At(0) != 2 || p.At(1) != 2 || p.At(5) != 2 {
+		t.Fatal("single-knot PCHIP broken")
+	}
+}
+
+func TestPCHIPExtrapolatesConstant(t *testing.T) {
+	p := NewPCHIP([]float64{0, 1, 2}, []float64{0, 1, 8})
+	if p.At(-5) != 0 || p.At(9) != 8 {
+		t.Fatal("PCHIP extrapolation should be constant")
+	}
+}
+
+func TestPCHIPApproximatesSmoothFunction(t *testing.T) {
+	xs := Linspace(0, math.Pi, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Sin(x)
+	}
+	p := NewPCHIP(xs, ys)
+	for _, x := range Linspace(0, math.Pi, 200) {
+		if err := math.Abs(p.At(x) - math.Sin(x)); err > 5e-3 {
+			t.Fatalf("PCHIP error %v at x=%v too large", err, x)
+		}
+	}
+}

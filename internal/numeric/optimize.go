@@ -1,0 +1,173 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMax maximizes a unimodal f on [lo, hi] by golden-section search,
+// returning the maximizing x and f(x). For non-unimodal f it still returns a
+// local maximum; pair it with GridMax for a global search on rugged
+// objectives (see RefineMax).
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxBisectIter && b-a > tol; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// GridMax evaluates f on n+1 evenly spaced points spanning [lo, hi] and
+// returns the best point and value. Ties go to the smaller x, which matches
+// the paper's tie-breaking convention of preferring the cheaper/less
+// aggressive strategy. n must be >= 1.
+func GridMax(f func(float64) float64, lo, hi float64, n int) (x, fx float64) {
+	if n < 1 {
+		n = 1
+	}
+	x, fx = lo, f(lo)
+	for i := 1; i <= n; i++ {
+		xi := lo + (hi-lo)*float64(i)/float64(n)
+		if v := f(xi); v > fx {
+			x, fx = xi, v
+		}
+	}
+	return x, fx
+}
+
+// RefineMax runs GridMax with n cells and then golden-section refinement
+// inside the winning cell's neighborhood. It is the workhorse for the ISP
+// pricing objectives, which are piecewise smooth with kinks where CPs switch
+// service classes: the grid localizes the global peak, the refinement
+// sharpens it.
+func RefineMax(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	gx, _ := GridMax(f, lo, hi, n)
+	step := (hi - lo) / float64(max(n, 1))
+	a := math.Max(lo, gx-step)
+	b := math.Min(hi, gx+step)
+	return GoldenMax(f, a, b, tol)
+}
+
+// GridMax2D evaluates f on an (nx+1)×(ny+1) grid over [xlo,xhi]×[ylo,yhi]
+// and returns the best point. Ties go to smaller y, then smaller x.
+func GridMax2D(f func(x, y float64) float64, xlo, xhi, ylo, yhi float64, nx, ny int) (x, y, fxy float64) {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	x, y = xlo, ylo
+	fxy = f(xlo, ylo)
+	for j := 0; j <= ny; j++ {
+		yj := ylo + (yhi-ylo)*float64(j)/float64(ny)
+		for i := 0; i <= nx; i++ {
+			xi := xlo + (xhi-xlo)*float64(i)/float64(nx)
+			if v := f(xi, yj); v > fxy {
+				x, y, fxy = xi, yj, v
+			}
+		}
+	}
+	return x, y, fxy
+}
+
+// NelderMead2D maximizes f over the box [xlo,xhi]×[ylo,yhi] starting from
+// (x0, y0) using the Nelder–Mead simplex method with box projection. It
+// returns the best vertex after at most maxIter iterations or when the
+// simplex collapses below tol. It is used to polish grid-search optima of
+// the two-dimensional ISP strategy (κ, c).
+func NelderMead2D(f func(x, y float64) float64, x0, y0, xlo, xhi, ylo, yhi, tol float64, maxIter int) (x, y, fxy float64) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	clamp := func(p [2]float64) [2]float64 {
+		p[0] = math.Min(math.Max(p[0], xlo), xhi)
+		p[1] = math.Min(math.Max(p[1], ylo), yhi)
+		return p
+	}
+	eval := func(p [2]float64) float64 { return f(p[0], p[1]) }
+
+	dx := math.Max((xhi-xlo)*0.05, 1e-6)
+	dy := math.Max((yhi-ylo)*0.05, 1e-6)
+	pts := [3][2]float64{
+		clamp([2]float64{x0, y0}),
+		clamp([2]float64{x0 + dx, y0}),
+		clamp([2]float64{x0, y0 + dy}),
+	}
+	vals := [3]float64{eval(pts[0]), eval(pts[1]), eval(pts[2])}
+
+	order := func() {
+		// Descending by value: pts[0] best, pts[2] worst.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if vals[j] > vals[i] {
+					pts[i], pts[j] = pts[j], pts[i]
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+	}
+	for it := 0; it < maxIter; it++ {
+		order()
+		size := math.Hypot(pts[0][0]-pts[2][0], pts[0][1]-pts[2][1]) +
+			math.Hypot(pts[1][0]-pts[2][0], pts[1][1]-pts[2][1])
+		if size < tol {
+			break
+		}
+		// Centroid of the two best vertices.
+		cx := (pts[0][0] + pts[1][0]) / 2
+		cy := (pts[0][1] + pts[1][1]) / 2
+		refl := clamp([2]float64{cx + (cx - pts[2][0]), cy + (cy - pts[2][1])})
+		fr := eval(refl)
+		switch {
+		case fr > vals[0]:
+			// Expansion.
+			exp := clamp([2]float64{cx + 2*(cx-pts[2][0]), cy + 2*(cy-pts[2][1])})
+			if fe := eval(exp); fe > fr {
+				pts[2], vals[2] = exp, fe
+			} else {
+				pts[2], vals[2] = refl, fr
+			}
+		case fr > vals[1]:
+			pts[2], vals[2] = refl, fr
+		default:
+			// Contraction toward the centroid.
+			con := clamp([2]float64{cx + 0.5*(pts[2][0]-cx), cy + 0.5*(pts[2][1]-cy)})
+			if fc := eval(con); fc > vals[2] {
+				pts[2], vals[2] = con, fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i < 3; i++ {
+					pts[i] = clamp([2]float64{
+						pts[0][0] + 0.5*(pts[i][0]-pts[0][0]),
+						pts[0][1] + 0.5*(pts[i][1]-pts[0][1]),
+					})
+					vals[i] = eval(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	return pts[0][0], pts[0][1], vals[0]
+}

@@ -1,0 +1,102 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenMaxParabola(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 2) * (x - 2) }
+	x, fx := GoldenMax(f, -10, 10, 1e-10)
+	if math.Abs(x-2) > 1e-6 || math.Abs(fx) > 1e-10 {
+		t.Fatalf("x=%v fx=%v, want 2, 0", x, fx)
+	}
+}
+
+func TestGoldenMaxBoundaryOptimum(t *testing.T) {
+	// Increasing function: maximum at the right boundary.
+	x, _ := GoldenMax(func(x float64) float64 { return x }, 0, 5, 1e-10)
+	if math.Abs(x-5) > 1e-6 {
+		t.Fatalf("x=%v, want boundary 5", x)
+	}
+}
+
+func TestGridMaxExactOnGridPoint(t *testing.T) {
+	f := func(x float64) float64 { return -math.Abs(x - 0.5) }
+	x, fx := GridMax(f, 0, 1, 10)
+	if x != 0.5 || fx != 0 {
+		t.Fatalf("x=%v fx=%v, want 0.5, 0", x, fx)
+	}
+}
+
+func TestGridMaxTieGoesToSmallerX(t *testing.T) {
+	x, _ := GridMax(func(x float64) float64 { return 1 }, 0, 1, 4)
+	if x != 0 {
+		t.Fatalf("tie should pick smallest x, got %v", x)
+	}
+}
+
+func TestRefineMaxSharpensGridOptimum(t *testing.T) {
+	// Peak at x=0.3141..., far from any coarse grid point.
+	peak := 0.31415
+	f := func(x float64) float64 { return -(x - peak) * (x - peak) }
+	x, _ := RefineMax(f, 0, 1, 7, 1e-12)
+	if math.Abs(x-peak) > 1e-6 {
+		t.Fatalf("refined x=%v, want %v", x, peak)
+	}
+}
+
+func TestRefineMaxPiecewiseObjective(t *testing.T) {
+	// Kinked objective like the ISP revenue curve: rises linearly then
+	// collapses. Peak at the kink x=0.6.
+	f := func(x float64) float64 {
+		if x <= 0.6 {
+			return x
+		}
+		return 0.6 - 5*(x-0.6)
+	}
+	x, fx := RefineMax(f, 0, 1, 20, 1e-10)
+	if math.Abs(x-0.6) > 1e-6 || math.Abs(fx-0.6) > 1e-6 {
+		t.Fatalf("x=%v fx=%v, want kink at 0.6", x, fx)
+	}
+}
+
+func TestGridMax2D(t *testing.T) {
+	f := func(x, y float64) float64 { return -(x-0.25)*(x-0.25) - (y-0.75)*(y-0.75) }
+	x, y, _ := GridMax2D(f, 0, 1, 0, 1, 4, 4)
+	if x != 0.25 || y != 0.75 {
+		t.Fatalf("(x,y)=(%v,%v), want (0.25, 0.75)", x, y)
+	}
+}
+
+func TestNelderMead2DQuadratic(t *testing.T) {
+	f := func(x, y float64) float64 { return -(x-1)*(x-1) - 2*(y+0.5)*(y+0.5) }
+	x, y, fxy := NelderMead2D(f, 0, 0, -5, 5, -5, 5, 1e-12, 1000)
+	if math.Abs(x-1) > 1e-4 || math.Abs(y+0.5) > 1e-4 {
+		t.Fatalf("(x,y)=(%v,%v) f=%v, want (1,-0.5)", x, y, fxy)
+	}
+}
+
+func TestNelderMead2DRespectsBox(t *testing.T) {
+	// Unconstrained optimum at (2,2) is outside the box [0,1]^2; the solver
+	// must stay inside and find the box corner.
+	f := func(x, y float64) float64 { return -(x-2)*(x-2) - (y-2)*(y-2) }
+	x, y, _ := NelderMead2D(f, 0.5, 0.5, 0, 1, 0, 1, 1e-12, 1000)
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		t.Fatalf("left the box: (%v,%v)", x, y)
+	}
+	if math.Abs(x-1) > 1e-3 || math.Abs(y-1) > 1e-3 {
+		t.Fatalf("(x,y)=(%v,%v), want corner (1,1)", x, y)
+	}
+}
+
+func TestNelderMead2DRosenbrockish(t *testing.T) {
+	// A banana-valley objective; NM should land near (1,1).
+	f := func(x, y float64) float64 {
+		return -(100*(y-x*x)*(y-x*x) + (1-x)*(1-x))
+	}
+	x, y, _ := NelderMead2D(f, -1, 1, -2, 2, -2, 2, 1e-13, 5000)
+	if math.Abs(x-1) > 0.05 || math.Abs(y-1) > 0.05 {
+		t.Fatalf("(x,y)=(%v,%v), want near (1,1)", x, y)
+	}
+}

@@ -1,0 +1,150 @@
+// Package plot renders sweep tables as terminal line charts and aligned
+// text tables. The repository may not use plotting libraries (stdlib only),
+// so figures are reproduced as ASCII charts plus CSV for external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// symbols mark successive series in a chart.
+var symbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the table as a width×height ASCII line chart with axes,
+// ranges and a legend. Series beyond the symbol set reuse symbols.
+func Chart(t *sweep.Table, width, height int) string {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	var (
+		xmin, xmax = math.Inf(1), math.Inf(-1)
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		hasData    bool
+	)
+	for _, s := range t.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			hasData = true
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if !hasData {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		sym := symbols[si%len(symbols)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				grid[r][col] = sym
+			}
+		}
+	}
+	yloLabel := fmt.Sprintf("%.4g", ymin)
+	yhiLabel := fmt.Sprintf("%.4g", ymax)
+	pad := len(yhiLabel)
+	if len(yloLabel) > pad {
+		pad = len(yloLabel)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yhiLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yloLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.4g", xmax)), fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if t.XLabel != "" || t.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), t.XLabel, t.YLabel)
+	}
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), symbols[si%len(symbols)], s.Name)
+	}
+	return b.String()
+}
+
+// Text renders the table as aligned columns: one x column and one column
+// per series. Series are sampled at their own indices; tables whose series
+// share an x grid (all figure tables here) align exactly. maxRows caps the
+// output by uniform subsampling (0 means all rows).
+func Text(t *sweep.Table, maxRows int) string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if len(t.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "%s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(tw, "\t%s", s.Name)
+	}
+	fmt.Fprintln(tw)
+	n := 0
+	for _, s := range t.Series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	stride := 1
+	if maxRows > 0 && n > maxRows {
+		stride = (n + maxRows - 1) / maxRows
+	}
+	for i := 0; i < n; i += stride {
+		x := math.NaN()
+		for _, s := range t.Series {
+			if i < s.Len() {
+				x = s.X[i]
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%.5g", x)
+		for _, s := range t.Series {
+			if i < s.Len() {
+				fmt.Fprintf(tw, "\t%.5g", s.Y[i])
+			} else {
+				fmt.Fprintf(tw, "\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,134 @@
+// Package sweep provides the parameter-sweep machinery behind the figure
+// reproductions: named series, figure tables, CSV export and a small
+// parallel runner.
+//
+// Concurrency note: the game solvers in internal/core keep warm-start state
+// and are not safe for concurrent use. Sweeps along a single curve are
+// sequential by design (each point warm-starts the next); parallelism is
+// applied across independent curves via RunParallel, with one solver per
+// task.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Table is a reproduced figure: a set of series over a common x-axis
+// quantity.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series to the table.
+func (t *Table) Add(s Series) { t.Series = append(t.Series, s) }
+
+// WriteCSV emits the table in long form: series,x,y — one row per point,
+// trivially loadable by any plotting tool.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", t.XLabel, t.YLabel}); err != nil {
+		return fmt.Errorf("sweep: writing CSV header: %w", err)
+	}
+	for _, s := range t.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("sweep: series %q has mismatched lengths %d/%d", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			row := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', 10, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 10, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("sweep: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunParallel executes the tasks concurrently on up to workers goroutines
+// (0 means GOMAXPROCS) and blocks until all complete. Each task must be
+// self-contained (own solver instances); panics propagate to the caller.
+func RunParallel(workers int, tasks []func()) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first any
+	)
+	ch := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if first == nil {
+								first = r
+							}
+							mu.Unlock()
+						}
+					}()
+					task()
+				}()
+			}
+		}()
+	}
+	for _, task := range tasks {
+		ch <- task
+	}
+	close(ch)
+	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}
+
+// Map evaluates f over xs sequentially (warm-start friendly) and returns
+// the resulting series.
+func Map(name string, xs []float64, f func(x float64) float64) Series {
+	s := Series{Name: name}
+	for _, x := range xs {
+		s.Append(x, f(x))
+	}
+	return s
+}

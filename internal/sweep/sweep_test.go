@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestMap(t *testing.T) {
+	s := Map("sq", []float64{1, 2, 3}, func(x float64) float64 { return x * x })
+	if s.Name != "sq" || s.Len() != 3 || s.Y[2] != 9 {
+		t.Fatalf("Map = %+v", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{Title: "t", XLabel: "c", YLabel: "psi"}
+	tbl.Add(Series{Name: "nu=20", X: []float64{0, 0.5}, Y: []float64{1, 2}})
+	tbl.Add(Series{Name: "nu=50", X: []float64{0, 0.5}, Y: []float64{3, 4}})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{"series,c,psi", "nu=20,0,1", "nu=20,0.5,2", "nu=50,0,3", "nu=50,0.5,4"}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w) {
+			t.Errorf("CSV missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestWriteCSVMismatchedSeries(t *testing.T) {
+	tbl := Table{XLabel: "x", YLabel: "y"}
+	tbl.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}})
+	if err := tbl.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for mismatched series")
+	}
+}
+
+func TestRunParallelRunsAll(t *testing.T) {
+	var count atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		tasks[i] = func() { count.Add(1) }
+	}
+	RunParallel(8, tasks)
+	if count.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestRunParallelSequentialFallback(t *testing.T) {
+	order := make([]int, 0, 3)
+	tasks := []func(){
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	}
+	RunParallel(1, tasks)
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("sequential order broken: %v", order)
+	}
+}
+
+func TestRunParallelPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	RunParallel(4, []func(){
+		func() {},
+		func() { panic("boom") },
+		func() {},
+		func() {},
+		func() {},
+	})
+}

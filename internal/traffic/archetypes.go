@@ -1,0 +1,59 @@
+package traffic
+
+import "github.com/netecon-sim/publicoption/internal/demand"
+
+// The three archetype CPs of §II-D of the paper, used in Figure 3. The
+// parameters (α_i, θ̂_i, β_i) are the paper's; θ̂ is expressed in Kbps using
+// the paper's own calibration (§II-A: Netflix HD ≈ 5 Mbps unconstrained,
+// Google search ≈ 600 Kbps — the figure's stylized values are 1 Mbps /
+// 10 Mbps / 3 Mbps on a 0–6000 Kbps per-capita capacity axis).
+//
+// Revenue v and consumer utility φ are not used by Figure 3 (no pricing);
+// the values chosen here follow the paper's qualitative discussion — search
+// monetizes well per byte, video poorly — and give the archetypes sensible
+// defaults for the pricing examples.
+
+// Google returns a Google-type CP: universally accessed (α = 1), low
+// unconstrained throughput, nearly insensitive to congestion (β = 0.1).
+func Google() CP {
+	return CP{
+		Name:     "google",
+		Alpha:    1.0,
+		ThetaHat: 1000, // Kbps
+		V:        0.9,
+		Phi:      0.2,
+		Curve:    demand.Exponential{Beta: 0.1},
+	}
+}
+
+// Netflix returns a Netflix-type CP: moderately popular (α = 0.3), very high
+// unconstrained throughput, throughput-sensitive (β = 3).
+func Netflix() CP {
+	return CP{
+		Name:     "netflix",
+		Alpha:    0.3,
+		ThetaHat: 10000, // Kbps
+		V:        0.3,
+		Phi:      0.6,
+		Curve:    demand.Exponential{Beta: 3},
+	}
+}
+
+// Skype returns a Skype-type CP: half the population uses it (α = 0.5),
+// medium unconstrained throughput, extremely throughput-sensitive (β = 5).
+func Skype() CP {
+	return CP{
+		Name:     "skype",
+		Alpha:    0.5,
+		ThetaHat: 3000, // Kbps
+		V:        0.2,
+		Phi:      1.0,
+		Curve:    demand.Exponential{Beta: 5},
+	}
+}
+
+// Archetypes returns the Figure 3 population {Google, Netflix, Skype} in the
+// paper's order (CP 1, CP 2, CP 3).
+func Archetypes() Population {
+	return Population{Google(), Netflix(), Skype()}
+}
