@@ -7,6 +7,9 @@
 //	pubopt list
 //	pubopt run fig4 [fig5 ...] | all   [-format chart|text|csv] [-out DIR]
 //	                                   [-fast] [-seed N] [-cps N] [-workers N]
+//	pubopt scenario list
+//	pubopt scenario show <name>
+//	pubopt scenario run --name <name> | --json <file>  [-format ...] [-out DIR]
 //
 // With -out, each table is written as CSV into DIR (one file per table);
 // otherwise tables render to stdout in the chosen format.
@@ -43,6 +46,8 @@ func run(args []string) error {
 		return nil
 	case "run":
 		return runCmd(args[1:])
+	case "scenario":
+		return scenarioCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
 	case "help", "-h", "--help":
@@ -60,6 +65,8 @@ func usage() {
 commands:
   list                      list available experiments
   run <id ...|all> [flags]  run experiments and render their tables
+  scenario <subcmd>         declarative market scenarios: list, show,
+                            run --name <name> | --json <file>
   verify [seed]             run the theorem battery (Axioms 1-4, Theorems
                             1-5, Lemma 4, the headline ranking, Assumption 2)
 

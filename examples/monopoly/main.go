@@ -1,10 +1,9 @@
-// Monopoly pricing analysis (§III of the paper): a single last-mile ISP
-// sells a paid-prioritization ("premium class") service to content
-// providers. The example sweeps the premium price, finds the
-// revenue-optimal strategy, and shows the paper's central monopoly finding:
-// with abundant capacity, revenue maximization deliberately under-utilizes
-// the network and hurts consumers — the case for regulation (or a Public
-// Option) in monopolistic markets.
+// Monopoly pricing analysis (§III of the paper), driven by named scenarios:
+// "monopoly-price-sweep" sweeps the premium price at fixed capacity and
+// "monopoly-capacity" grows capacity at a fixed price. Together they show
+// the paper's central monopoly finding — revenue maximization deliberately
+// under-utilizes the network and hurts consumers, the case for regulation
+// (or a Public Option) in monopolistic markets.
 package main
 
 import (
@@ -13,43 +12,37 @@ import (
 	publicoption "github.com/netecon-sim/publicoption"
 )
 
+func runScenario(name string) {
+	s, ok := publicoption.ScenarioByName(name)
+	if !ok {
+		panic("missing built-in scenario " + name)
+	}
+	report, err := publicoption.RunScenarioReport(s, publicoption.ScenarioRunOptions{}, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(report)
+}
+
 func main() {
+	runScenario("monopoly-price-sweep")
+	runScenario("monopoly-capacity")
+
+	// The scenarios tabulate fixed strategies; the Stackelberg question —
+	// which strategy the monopolist actually picks — needs the optimizer.
 	pop := publicoption.PaperPopulation(publicoption.PhiCorrelated)
 	mono := publicoption.NewMonopoly(nil)
-
-	for _, nu := range []float64{50, 200} {
-		fmt.Printf("=== per-capita capacity ν = %.0f (saturation ≈ 250)\n\n", nu)
-		fmt.Printf("%6s  %10s  %10s  %12s\n", "c", "Ψ (ISP)", "Φ (cons.)", "utilization")
-		for _, c := range []float64{0.05, 0.2, 0.4, 0.6, 0.8} {
-			eq := mono.Outcome(publicoption.Strategy{Kappa: 1, C: c}, nu, pop)
-			fmt.Printf("%6.2f  %10.2f  %10.1f  %11.0f%%\n", c, eq.Psi(), eq.Phi(), 100*eq.Utilization())
-		}
-		mono.ResetWarm()
-
-		cBest, eqBest := mono.OptimalPrice(1, 1, nu, pop, 100)
-		fmt.Printf("\nrevenue-optimal price c* = %.3f: Ψ = %.2f, Φ = %.1f, utilization %.0f%%\n",
-			cBest, eqBest.Psi(), eqBest.Phi(), 100*eqBest.Utilization())
-
-		mono.ResetWarm()
-		eqCheap := mono.Outcome(publicoption.Strategy{Kappa: 1, C: 0.02}, nu, pop)
-		fmt.Printf("near-free access (c = 0.02):  Ψ = %.2f, Φ = %.1f\n", eqCheap.Psi(), eqCheap.Phi())
-		if eqBest.Phi() < eqCheap.Phi() {
-			fmt.Printf("→ the profit-maximizing monopolist costs consumers %.1f of per-capita surplus\n\n",
-				eqCheap.Phi()-eqBest.Phi())
-		} else {
-			fmt.Printf("→ at this scarcity, pricing and consumer surplus are not yet in conflict\n\n")
-		}
-		mono.ResetWarm()
-	}
-
-	// Theorem 4 in action: κ = 1 dominates every partial split at the same
-	// price.
-	fmt.Println("=== Theorem 4: the monopolist dedicates everything to the premium class")
-	fmt.Printf("%8s  %10s\n", "κ", "Ψ at c=0.3")
-	nu := 100.0
-	for _, kappa := range []float64{0.25, 0.5, 0.75, 1.0} {
-		mono.ResetWarm()
-		eq := mono.Outcome(publicoption.Strategy{Kappa: kappa, C: 0.3}, nu, pop)
-		fmt.Printf("%8.2f  %10.2f\n", kappa, eq.Psi())
+	nu := 200.0 // abundant but sub-saturation capacity (saturation ≈ 250)
+	cBest, eqBest := mono.OptimalPrice(1, 1, nu, pop, 100)
+	mono.ResetWarm()
+	eqCheap := mono.Outcome(publicoption.Strategy{Kappa: 1, C: 0.02}, nu, pop)
+	fmt.Printf("revenue-optimal price at ν=%.0f: c* = %.3f (Ψ = %.2f, Φ = %.1f, utilization %.0f%%)\n",
+		nu, cBest, eqBest.Psi(), eqBest.Phi(), 100*eqBest.Utilization())
+	fmt.Printf("near-free access (c = 0.02):    Ψ = %.2f, Φ = %.1f\n", eqCheap.Psi(), eqCheap.Phi())
+	if eqBest.Phi() < eqCheap.Phi() {
+		fmt.Printf("→ profit-maximizing pricing costs consumers %.1f of per-capita surplus\n",
+			eqCheap.Phi()-eqBest.Phi())
+	} else {
+		fmt.Println("→ at this scarcity, pricing and consumer surplus are not yet in conflict")
 	}
 }

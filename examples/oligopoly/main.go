@@ -1,8 +1,10 @@
-// Oligopolistic competition (§IV-B of the paper): several strategic ISPs
-// share the last mile. The example demonstrates Lemma 4 — under homogeneous
-// strategies, market shares are proportional to capacities, so ISPs have an
-// incentive to invest — and Theorem 6's alignment between market-share and
-// consumer-surplus best responses.
+// Oligopolistic competition (§IV-B of the paper): the "oligopoly-symmetric"
+// scenario demonstrates Lemma 4 — under homogeneous strategies, market
+// shares are proportional to capacities, so ISPs have an incentive to
+// invest — and the "asymmetric-duopoly" scenario shows a differentiating
+// incumbent against a neutral rival. The best-response demo at the end is
+// Theorem 6's alignment between market-share and consumer-surplus
+// objectives, which needs the strategic API rather than a fixed sweep.
 package main
 
 import (
@@ -11,29 +13,27 @@ import (
 	publicoption "github.com/netecon-sim/publicoption"
 )
 
+func runScenario(name string) {
+	s, ok := publicoption.ScenarioByName(name)
+	if !ok {
+		panic("missing built-in scenario " + name)
+	}
+	report, err := publicoption.RunScenarioReport(s, publicoption.ScenarioRunOptions{}, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(report)
+}
+
 func main() {
-	// A 300-CP draw from the paper's ensemble keeps this example snappy;
-	// swap in PaperPopulation for the full published workload.
+	runScenario("oligopoly-symmetric")
+	runScenario("asymmetric-duopoly")
+
+	// Theorem 6: best responses for share and for surplus nearly coincide.
+	// (Same 300-CP ensemble the scenarios above declare.)
 	pop := publicoption.GeneratePopulation(publicoption.PhiCorrelated, 300, 7)
 	nuBar := 0.4 * pop.TotalUnconstrainedPerCapita()
 	mk := publicoption.NewMarket(nil, pop, nuBar)
-
-	// Lemma 4: homogeneous strategies → capacity-proportional shares.
-	shared := publicoption.Strategy{Kappa: 0.5, C: 0.3}
-	isps := []publicoption.ISP{
-		{Name: "alpha", Gamma: 0.5, Strategy: shared},
-		{Name: "beta", Gamma: 0.3, Strategy: shared},
-		{Name: "gamma", Gamma: 0.2, Strategy: shared},
-	}
-	out := mk.SolveMarket(isps)
-	fmt.Println("Lemma 4 — homogeneous strategies, shares track capacity:")
-	fmt.Printf("%8s  %10s  %10s\n", "ISP", "γ (cap.)", "share")
-	for k, isp := range isps {
-		fmt.Printf("%8s  %10.2f  %10.3f\n", isp.Name, isp.Gamma, out.Shares[k])
-	}
-	fmt.Printf("equalized per-capita consumer surplus Φ = %.1f\n\n", out.Phi)
-
-	// Theorem 6: best responses for share and for surplus nearly coincide.
 	duo := []publicoption.ISP{
 		{Name: "i", Gamma: 0.5, Strategy: publicoption.Strategy{Kappa: 1, C: 0.6}},
 		{Name: "j", Gamma: 0.5, Strategy: publicoption.Strategy{Kappa: 0.5, C: 0.3}},
@@ -48,13 +48,4 @@ func main() {
 	fmt.Printf("  for market share:     s = %v → m_i = %.3f, Φ = %.1f\n", sShare, m, outShare.Phi)
 	fmt.Printf("  for consumer surplus: s = %v → m_i = %.3f, Φ = %.1f\n", sPhi, outPhi.Shares[0], phi)
 	fmt.Println("  (the two objectives pick near-identical strategies)")
-
-	// Iterated best response: a market-share Nash equilibrium on the grid.
-	fmt.Println()
-	res := mk.MarketShareNash(duo, grid, 6)
-	fmt.Printf("Iterated best response (converged=%t, rounds=%d):\n", res.Converged, res.Rounds)
-	for k, isp := range res.ISPs {
-		fmt.Printf("  %s plays %v, share %.3f\n", isp.Name, isp.Strategy, res.Outcome.Shares[k])
-	}
-	fmt.Printf("market consumer surplus Φ = %.1f\n", res.Outcome.Phi)
 }

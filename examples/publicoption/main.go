@@ -1,9 +1,10 @@
-// The Public Option at work (§IV-A of the paper): a strategic,
-// differentiating ISP competes with a neutral Public Option ISP of equal
-// capacity. Consumers migrate to whichever ISP delivers more per-capita
-// surplus (Assumption 5). The example shows Theorem 5: with a Public Option
-// in the market, chasing market share *is* chasing consumer surplus — the
-// incumbent is disciplined without any regulation.
+// The Public Option at work (§IV-A of the paper), driven by named
+// scenarios: "public-option-duopoly" sweeps the incumbent's premium price
+// against a neutral entrant of equal capacity, and "public-option-sizing"
+// asks how much entrant capacity it takes to discipline the market.
+// Theorem 5 is visible in the first table: the price that maximizes the
+// incumbent's market share is also the price that maximizes consumer
+// surplus — discipline without regulation.
 package main
 
 import (
@@ -12,41 +13,24 @@ import (
 	publicoption "github.com/netecon-sim/publicoption"
 )
 
+func runScenario(name string) {
+	s, ok := publicoption.ScenarioByName(name)
+	if !ok {
+		panic("missing built-in scenario " + name)
+	}
+	report, err := publicoption.RunScenarioReport(s, publicoption.ScenarioRunOptions{}, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(report)
+}
+
 func main() {
-	pop := publicoption.PaperPopulation(publicoption.PhiCorrelated)
-	nuBar := 100.0 // system per-capita capacity (saturation ≈ 250)
+	runScenario("public-option-duopoly")
+	runScenario("public-option-sizing")
 
-	fmt.Println("Strategic ISP (κ=1, price c) vs Public Option, equal capacities, ν̄ = 100")
-	fmt.Println()
-	fmt.Printf("%6s  %10s  %12s  %10s\n", "c", "share m_I", "Ψ_I (rev.)", "Φ (market)")
-	type row struct{ c, share, psi, phi float64 }
-	var best row
-	for _, c := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0} {
-		out := publicoption.DuopolyWithPublicOption(
-			publicoption.Strategy{Kappa: 1, C: c}, 0.5, nuBar, pop)
-		mI := out.Shares[0]
-		psi := out.Eqs[0].Psi() * mI // per capita of the whole market
-		fmt.Printf("%6.2f  %10.3f  %12.2f  %10.1f\n", c, mI, psi, out.Phi)
-		if mI > best.share {
-			best = row{c, mI, psi, out.Phi}
-		}
-	}
-
-	fmt.Printf("\nmarket-share maximizing price: c = %.2f (m_I = %.3f, Φ = %.1f)\n",
-		best.c, best.share, best.phi)
-	fmt.Println()
-	fmt.Println("Theorem 5: the share-maximizing strategy also maximizes consumer")
-	fmt.Println("surplus — compare Φ across the rows above. Overpricing (c → 1)")
-	fmt.Println("sends every consumer to the Public Option: the incumbent cannot")
-	fmt.Println("win by squeezing content providers.")
-
-	// The §VI sizing discussion: a small Public Option still disciplines.
-	fmt.Println()
-	fmt.Println("Public Option capacity sizing (incumbent plays κ=1, c=0.4):")
-	fmt.Printf("%10s  %12s  %10s\n", "γ_PO", "PO share", "Φ (market)")
-	for _, g := range []float64{0.05, 0.1, 0.25, 0.5} {
-		out := publicoption.DuopolyWithPublicOption(
-			publicoption.Strategy{Kappa: 1, C: 0.4}, 1-g, nuBar, pop)
-		fmt.Printf("%10.2f  %12.3f  %10.1f\n", g, out.Shares[1], out.Phi)
-	}
+	fmt.Println("Theorem 5: compare the share and phi tables above — the incumbent's")
+	fmt.Println("share-maximizing price is also the consumer-surplus-maximizing one.")
+	fmt.Println("Overpricing sends every consumer to the Public Option: the incumbent")
+	fmt.Println("cannot win by squeezing content providers.")
 }

@@ -1,6 +1,7 @@
-// Quickstart: solve the rate equilibrium of the paper's three-archetype
-// population (§II-D, Figure 3) and inspect throughputs, demand and consumer
-// surplus as the last-mile capacity grows.
+// Quickstart: the paper's three-archetype population (§II-D, Figure 3) as a
+// named scenario. The "archetypes-capacity" scenario declares the whole
+// study — population, neutral ISP, capacity grid — as data; running it
+// reproduces the Figure 3 saturation ordering without any setup code.
 package main
 
 import (
@@ -10,30 +11,29 @@ import (
 )
 
 func main() {
-	pop := publicoption.Archetypes() // Google-, Netflix-, Skype-type CPs
-
-	fmt.Println("Per-capita capacity sweep over the archetype population")
-	fmt.Println("(throughputs in Kbps; saturation at Σ α·θ̂ = 5500)")
-	fmt.Println()
-	fmt.Printf("%8s  %22s  %22s  %10s\n", "nu", "theta (G/N/S)", "demand (G/N/S)", "phi")
-	for _, nu := range []float64{250, 1000, 2000, 4000, 5500} {
-		eq := publicoption.RateEquilibrium(nu, pop)
-		fmt.Printf("%8.0f  %6.0f %7.0f %7.0f  %7.2f %6.2f %7.2f  %10.1f\n",
-			nu,
-			eq.Theta[0], eq.Theta[1], eq.Theta[2],
-			eq.Demand(0), eq.Demand(1), eq.Demand(2),
-			publicoption.ConsumerSurplus(eq),
-		)
+	s, ok := publicoption.ScenarioByName("archetypes-capacity")
+	if !ok {
+		panic("missing built-in scenario")
 	}
+	report, err := publicoption.RunScenarioReport(s, publicoption.ScenarioRunOptions{}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(report)
 
-	fmt.Println()
-	fmt.Println("The Figure 3 ordering: as capacity grows, Google-type demand")
-	fmt.Println("saturates first, then Skype-type, and Netflix-type last.")
+	// The scenario's tables are per-capita aggregates; the underlying API
+	// answers per-CP questions. Google-type demand saturates first,
+	// Netflix-type last — the Figure 3 ordering:
+	pop := publicoption.Archetypes()
+	fmt.Println("per-CP demand at ν = 2000 Kbps:")
+	eq := publicoption.RateEquilibrium(2000, pop)
+	for i := range pop {
+		fmt.Printf("  %-8s d(θ)=%.2f at θ=%.0f Kbps\n", pop[i].Name, eq.Demand(i), eq.Theta[i])
+	}
 
 	// Absolute-scale entry point: 10,000 consumers behind a 20 Gbps link is
 	// the same system as ν = 2000 Kbps per capita (Axiom 4).
 	abs := publicoption.SolveSystem(publicoption.MaxMin{}, 10000, 2000*10000, pop)
-	rel := publicoption.RateEquilibrium(2000, pop)
-	fmt.Printf("\nScale invariance check: θ_netflix = %.1f (absolute) vs %.1f (per capita)\n",
-		abs.Theta[1], rel.Theta[1])
+	fmt.Printf("\nscale invariance: θ_netflix = %.1f (absolute) vs %.1f (per capita)\n",
+		abs.Theta[1], eq.Theta[1])
 }

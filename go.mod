@@ -1,0 +1,3 @@
+module github.com/netecon-sim/publicoption
+
+go 1.22

@@ -112,11 +112,14 @@ func Text(t *sweep.Table, maxRows int) string {
 		return b.String()
 	}
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	// Every cell is tab-terminated (including the last per line): tabwriter
+	// excludes trailing unterminated cells from column layout, which would
+	// jam the final column against its neighbor.
 	fmt.Fprintf(tw, "%s", t.XLabel)
 	for _, s := range t.Series {
 		fmt.Fprintf(tw, "\t%s", s.Name)
 	}
-	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "\t")
 	n := 0
 	for _, s := range t.Series {
 		if s.Len() > n {
@@ -143,7 +146,7 @@ func Text(t *sweep.Table, maxRows int) string {
 				fmt.Fprintf(tw, "\t")
 			}
 		}
-		fmt.Fprintln(tw)
+		fmt.Fprintln(tw, "\t")
 	}
 	tw.Flush()
 	return b.String()

@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// The built-in registry: one named scenario per figure regime of
+// internal/experiment plus market structures from the related literature —
+// public-option entry under consumer rebates, asymmetric duopoly, and a
+// large-N oligopoly over a batched 10⁵-CP ensemble.
+//
+// Built-ins declare capacity as fractions of the population's saturation
+// Σ α_i·θ̂_i (OfSaturation) wherever the population is random, so editing the
+// ensemble rescales the sweep automatically; the archetype scenario uses the
+// paper's absolute Kbps axis.
+
+var builtins = []*Scenario{
+	{
+		Name:  "neutral-baseline",
+		Title: "Neutral monopoly: consumer surplus vs capacity",
+		Description: "A single network-neutral ISP (strategy (0,0)) serving the paper's " +
+			"1000-CP ensemble. Φ(ν) is strictly increasing until capacity covers all " +
+			"unconstrained demand, then flat — the shape Theorem 2 proves.",
+		Reference:  "Ma & Misra §II-C, Theorem 2; baseline for Figures 4-5",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers:  []ProviderSpec{{Name: "neutral", Gamma: 1}},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.1, Hi: 1.2, Points: 12, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricUtilization},
+		},
+	},
+	{
+		Name:  "archetypes-capacity",
+		Title: "Google/Netflix/Skype archetypes: demand saturation vs capacity (Kbps)",
+		Description: "The three §II-D archetype CPs under a neutral ISP on the paper's " +
+			"absolute Kbps axis. Google-type demand saturates first, then Skype-type, " +
+			"Netflix-type last — the Figure 3 ordering.",
+		Reference:  "Ma & Misra §II-D, Figure 3",
+		Population: PopulationSpec{Kind: "archetypes"},
+		Providers:  []ProviderSpec{{Name: "neutral", Gamma: 1}},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Values: []float64{250, 500, 1000, 2000, 3000, 4000, 5000, 5500},
+			Metrics: []string{MetricPhi, MetricUtilization},
+		},
+	},
+	{
+		Name:  "monopoly-price-sweep",
+		Title: "Monopoly premium pricing: revenue and consumer surplus vs price",
+		Description: "A monopolist with all capacity premium (κ=1) sweeps the premium " +
+			"price c. Revenue Ψ peaks at an interior price while consumer surplus Φ " +
+			"falls — the §III conflict that motivates regulation or a Public Option.",
+		Reference:  "Ma & Misra §III, Figure 4",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers:  []ProviderSpec{{Name: "monopolist", Gamma: 1, Kappa: 1}},
+		Sweep: SweepSpec{
+			Axis: AxisPrice, Lo: 0, Hi: 1, Points: 21, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi, MetricUtilization},
+		},
+	},
+	{
+		Name:  "monopoly-capacity",
+		Title: "Monopoly under fixed pricing: surplus vs capacity",
+		Description: "The monopolist holds (κ=1, c=0.4) while per-capita capacity grows. " +
+			"Past a point, extra capacity feeds the premium class only through demand the " +
+			"price suppresses — utilization and consumer surplus stall below the neutral " +
+			"benchmark (compare neutral-baseline).",
+		Reference:  "Ma & Misra §III-E, Figure 5",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers:  []ProviderSpec{{Name: "monopolist", Gamma: 1, Kappa: 1, C: 0.4}},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.1, Hi: 1.2, Points: 12, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi, MetricUtilization},
+		},
+	},
+	{
+		Name:  "monopoly-phi-independent",
+		Title: "Monopoly pricing when consumer utility is independent of sensitivity",
+		Description: "The appendix robustness check: φ drawn independently of β instead " +
+			"of correlated. The qualitative pricing conflict of monopoly-price-sweep " +
+			"survives the change of utility model.",
+		Reference:  "Ma & Misra appendix, Figures 9-10",
+		Population: PopulationSpec{Kind: "paper", Phi: "independent"},
+		Providers:  []ProviderSpec{{Name: "monopolist", Gamma: 1, Kappa: 1}},
+		Sweep: SweepSpec{
+			Axis: AxisPrice, Lo: 0, Hi: 1, Points: 21, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi},
+		},
+	},
+	{
+		Name:  "public-option-duopoly",
+		Title: "Strategic incumbent vs Public Option: shares and surplus vs price",
+		Description: "An incumbent with κ=1 sweeps its premium price against a " +
+			"Public Option of equal capacity. Overpricing sends consumers to the " +
+			"neutral entrant — chasing market share disciplines the incumbent " +
+			"without regulation (Theorem 5).",
+		Reference:  "Ma & Misra §IV-A, Figures 7-8, Theorem 5",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisPrice, Lo: 0, Hi: 1, Points: 11, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi, MetricShare},
+		},
+	},
+	{
+		Name:  "public-option-sizing",
+		Title: "How much Public Option capacity is enough?",
+		Description: "The incumbent plays (κ=1, c=0.4) while the Public Option's " +
+			"capacity share γ grows from 5% to 50%. Even a small entrant moves " +
+			"market surplus — the §VI sizing question.",
+		Reference:  "Ma & Misra §VI; ablation-pubopt-capacity",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.4},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisPOShare, Lo: 0.05, Hi: 0.5, Points: 10, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
+	{
+		Name:  "public-option-subsidy",
+		Title: "Public Option entry when the incumbent rebates premium revenue",
+		Description: "The §VI caveat made quantitative: the incumbent (κ=1, c=0.5) " +
+			"rebates a fraction σ of CP-side revenue to subscribers, competing with a " +
+			"Public Option on consumer value Φ+σΨ. Rebates buy back share, but the " +
+			"regulator's gross-surplus view still favors the entrant — the " +
+			"non-neutrality profitability question of the related literature.",
+		Reference:  "Ma & Misra §VI; Lotfi et al., non-neutrality profitability",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.5},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisSigma, Lo: 0, Hi: 1, Points: 11, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare, MetricPsi},
+		},
+	},
+	{
+		Name:  "asymmetric-duopoly",
+		Title: "Asymmetric duopoly: a large differentiator vs a small neutral rival",
+		Description: "A 70%-capacity incumbent selling priority (κ=1, c=0.5) against a " +
+			"30% neutral competitor, across capacities. Market structure — not just " +
+			"regulation — decides how much differentiation the market bears, the " +
+			"duopoly question the related welfare literature studies.",
+		Reference:  "Ma & Misra §IV-B; Chaturvedi et al., welfare under duopoly",
+		Population: PopulationSpec{Kind: "ensemble", N: 300, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.7, Kappa: 1, C: 0.5},
+			{Name: "neutral-rival", Gamma: 0.3},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.15, Hi: 0.9, Points: 8, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
+	{
+		Name:  "oligopoly-symmetric",
+		Title: "Four-ISP oligopoly with homogeneous strategies (Lemma 4)",
+		Description: "Four ISPs with equal strategies (κ=0.5, c=0.3) and capacity shares " +
+			"0.4/0.3/0.2/0.1. Under homogeneous strategies market shares track capacity " +
+			"shares exactly at every ν — Lemma 4, the investment-incentive result.",
+		Reference:  "Ma & Misra §IV-B, Lemma 4",
+		Population: PopulationSpec{Kind: "ensemble", N: 300, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "isp-a", Gamma: 0.4, Kappa: 0.5, C: 0.3},
+			{Name: "isp-b", Gamma: 0.3, Kappa: 0.5, C: 0.3},
+			{Name: "isp-c", Gamma: 0.2, Kappa: 0.5, C: 0.3},
+			{Name: "isp-d", Gamma: 0.1, Kappa: 0.5, C: 0.3},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.2, Hi: 0.8, Points: 6, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
+	{
+		Name:  "oligopoly-large-n",
+		Title: "Five neutral ISPs serving a 100,000-CP ensemble (batched)",
+		Description: "A large-N stress scenario: 10⁵ content providers generated in " +
+			"10,000-CP batches, served by five neutral ISPs of unequal capacity. " +
+			"Neutral homogeneity makes the equilibrium Lemma 4's: shares equal " +
+			"capacity shares and surplus follows the pooled water-fill, evaluated " +
+			"batch-parallel without materializing per-CP state.",
+		Reference:  "ROADMAP scale goal; Ma & Misra §IV-B, Lemma 4",
+		Population: PopulationSpec{Kind: "ensemble", N: 100000, Seed: 42, Batch: 10000},
+		Providers: []ProviderSpec{
+			{Name: "isp-a", Gamma: 0.3},
+			{Name: "isp-b", Gamma: 0.25},
+			{Name: "isp-c", Gamma: 0.2},
+			{Name: "isp-d", Gamma: 0.15},
+			{Name: "isp-e", Gamma: 0.1},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.1, Hi: 1.2, Points: 12, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare, MetricUtilization},
+		},
+	},
+	{
+		Name:  "regimes-comparison",
+		Title: "Consumer surplus by regulatory regime vs capacity",
+		Description: "The headline comparison: unregulated monopoly, κ-cap, price-cap, " +
+			"full neutrality, and the Public Option on the same population and " +
+			"capacities. Expected ranking: Public Option ≥ neutral ≥ caps ≥ " +
+			"unregulated (Theorem 5) — the welfare-regulation comparison the related " +
+			"literature frames as regimes, here expressed as one scenario.",
+		Reference:  "Ma & Misra §III/§VI, Theorem 5; Chaturvedi et al., welfare of neutrality regulation",
+		Population: PopulationSpec{Kind: "paper"},
+		Regulation: &RegulationSpec{},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Values: []float64{0.2, 0.4, 0.6, 0.8}, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi},
+		},
+	},
+}
+
+func init() {
+	seen := make(map[string]bool, len(builtins))
+	for _, s := range builtins {
+		if seen[s.Name] {
+			panic("scenario: duplicate built-in " + s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Validate(); err != nil {
+			panic(fmt.Sprintf("scenario: invalid built-in: %v", err))
+		}
+	}
+}
+
+// Names returns the built-in scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(builtins))
+	for i, s := range builtins {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns deep copies of every built-in scenario, sorted by name.
+func All() []*Scenario {
+	out := make([]*Scenario, 0, len(builtins))
+	for _, name := range Names() {
+		s, _ := Get(name)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns a deep copy of the named built-in scenario, so callers can
+// modify it freely before running.
+func Get(name string) (*Scenario, bool) {
+	for _, s := range builtins {
+		if s.Name == name {
+			js, err := s.JSON()
+			if err != nil {
+				panic(fmt.Sprintf("scenario: built-in %s does not marshal: %v", name, err))
+			}
+			dup, err := Load(bytes.NewReader(js))
+			if err != nil {
+				panic(fmt.Sprintf("scenario: built-in %s does not round-trip: %v", name, err))
+			}
+			return dup, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,64 @@
+package publicoption
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/netecon-sim/publicoption/internal/plot"
+	"github.com/netecon-sim/publicoption/internal/scenario"
+)
+
+// Scenario is a declarative market experiment: providers, CP population,
+// regulation regime and sweep axis as plain data, round-trippable to JSON.
+// Build one literally, load it with LoadScenario, or copy a built-in from
+// ScenarioByName and modify it; Scenario.Run solves it into ResultTables.
+type Scenario = scenario.Scenario
+
+// Scenario component specs, exported so scenarios can be built in code.
+type (
+	// ScenarioPopulation declares the CP side of a scenario.
+	ScenarioPopulation = scenario.PopulationSpec
+	// ScenarioProvider declares one ISP of a scenario.
+	ScenarioProvider = scenario.ProviderSpec
+	// ScenarioRegulation switches a scenario to a regime comparison.
+	ScenarioRegulation = scenario.RegulationSpec
+	// ScenarioSweep declares a scenario's x-axis, grid and metrics.
+	ScenarioSweep = scenario.SweepSpec
+	// ScenarioRunOptions controls execution parallelism.
+	ScenarioRunOptions = scenario.RunOptions
+)
+
+// Scenarios returns deep copies of every built-in named scenario, sorted by
+// name. The registry covers each figure regime of the paper plus market
+// structures from the related literature (asymmetric duopoly, revenue
+// rebates, batched large-N oligopoly).
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioNames lists the built-in scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a deep copy of the named built-in scenario.
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.Get(name) }
+
+// LoadScenario parses a scenario from JSON and validates it.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// RunScenarioReport runs the scenario and renders a self-contained text
+// report — title, description, and every result table as aligned columns
+// (maxRows caps each table's rows by subsampling; 0 keeps all). It is the
+// shared rendering path of the runnable examples; use Scenario.Run for
+// programmatic access to the tables.
+func RunScenarioReport(s *Scenario, opt ScenarioRunOptions, maxRows int) (string, error) {
+	tables, err := s.Run(opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s\n%s\n\n", s.Title, s.Description)
+	for _, t := range tables {
+		b.WriteString(plot.Text(t, maxRows))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
