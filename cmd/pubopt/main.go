@@ -10,14 +10,21 @@
 //	pubopt scenario list
 //	pubopt scenario show <name>
 //	pubopt scenario run --name <name> | --json <file>  [-format ...] [-out DIR]
+//	                                   [-seed N] [-cps N] [-workers N]
+//	pubopt serve [-addr HOST:PORT] [-workers N] [-cache-entries N]
 //
 // With -out, each table is written as CSV into DIR (one file per table);
 // otherwise tables render to stdout in the chosen format.
+//
+// Exit codes: 0 on success (including help), 1 on runtime errors, 2 on
+// usage errors (missing or unknown commands, bad flags).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,8 +33,37 @@ import (
 	publicoption "github.com/netecon-sim/publicoption"
 )
 
+// errUsage marks usage errors: the message and usage text have already been
+// printed to stderr, so main exits 2 without the generic error prefix.
+var errUsage = errors.New("usage error")
+
+// usageErrorf prints the problem to stderr and returns errUsage, so the
+// caller's error propagates to a silent exit-2 in main.
+func usageErrorf(format string, args ...any) error {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	return errUsage
+}
+
+// parseFlags classifies FlagSet errors: -h stays flag.ErrHelp (exit 0);
+// any other parse failure — already printed by the FlagSet — becomes a
+// usage error (exit 2).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return errUsage
+}
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	switch err := run(os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	case errors.Is(err, flag.ErrHelp):
+		// A subcommand's -h: the FlagSet already printed its defaults.
+		os.Exit(0)
+	default:
 		fmt.Fprintln(os.Stderr, "pubopt:", err)
 		os.Exit(1)
 	}
@@ -35,8 +71,9 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		usage()
-		return fmt.Errorf("missing command")
+		fmt.Fprintln(os.Stderr, "pubopt: missing command")
+		usage(os.Stderr)
+		return errUsage
 	}
 	switch args[0] {
 	case "list":
@@ -50,23 +87,28 @@ func run(args []string) error {
 		return scenarioCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
+	case "serve":
+		return serveCmd(args[1:])
 	case "help", "-h", "--help":
-		usage()
+		usage(os.Stdout)
 		return nil
 	default:
-		usage()
-		return fmt.Errorf("unknown command %q", args[0])
+		fmt.Fprintf(os.Stderr, "pubopt: unknown command %q\n", args[0])
+		usage(os.Stderr)
+		return errUsage
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `pubopt — reproduce the figures of "The Public Option" (CoNEXT 2011)
+func usage(w io.Writer) {
+	fmt.Fprint(w, `pubopt — reproduce the figures of "The Public Option" (CoNEXT 2011)
 
 commands:
   list                      list available experiments
   run <id ...|all> [flags]  run experiments and render their tables
   scenario <subcmd>         declarative market scenarios: list, show,
                             run --name <name> | --json <file>
+  serve [flags]             HTTP query service with a content-addressed
+                            equilibrium cache (see docs/SERVICE.md)
   verify [seed]             run the theorem battery (Axioms 1-4, Theorems
                             1-5, Lemma 4, the headline ranking, Assumption 2)
 
@@ -77,6 +119,12 @@ flags for run:
   -seed N                   ensemble seed (default: the published seed)
   -cps N                    ensemble size (default 1000)
   -workers N                parallel curves (default GOMAXPROCS)
+
+flags for serve:
+  -addr HOST:PORT           listen address (default :8080)
+  -workers N                max concurrent solves (default GOMAXPROCS)
+  -cache-entries N          equilibrium cache LRU bound (default 256;
+                            negative disables caching)
 `)
 }
 
@@ -98,7 +146,7 @@ func runCmd(args []string) error {
 		}
 		ids = append(ids, a)
 	}
-	if err := fs.Parse(flagArgs); err != nil {
+	if err := parseFlags(fs, flagArgs); err != nil {
 		return err
 	}
 	if len(ids) == 0 {

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quiet silences the command's stdout/stderr for the duration of the test;
+// assertions look at return values and the filesystem, not terminal output.
+func quiet(t *testing.T) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = devnull, devnull
+	t.Cleanup(func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devnull.Close()
+	})
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantErr  string // substring of the error; "" means success
+		usage    bool   // expect the errUsage sentinel (exit 2)
+		wantHelp bool   // expect flag.ErrHelp (exit 0)
+	}{
+		{name: "no args", args: nil, usage: true},
+		{name: "unknown command", args: []string{"frobnicate"}, usage: true},
+		{name: "help", args: []string{"help"}},
+		{name: "help short flag", args: []string{"-h"}},
+		{name: "list", args: []string{"list"}},
+		{name: "subcommand help flag", args: []string{"serve", "-h"}, wantHelp: true},
+
+		{name: "run without ids", args: []string{"run"}, wantErr: "no experiment IDs"},
+		{name: "run unknown id", args: []string{"run", "fig99"}, wantErr: `unknown experiment "fig99"`},
+		{name: "run bad flag", args: []string{"run", "fig4", "-bogus"}, usage: true},
+
+		{name: "scenario without subcommand", args: []string{"scenario"}, usage: true},
+		{name: "scenario unknown subcommand", args: []string{"scenario", "frobnicate"}, usage: true},
+		{name: "scenario show without name", args: []string{"scenario", "show"}, wantErr: "missing scenario name"},
+		{name: "scenario show unknown", args: []string{"scenario", "show", "no-such"}, wantErr: `unknown scenario "no-such"`},
+		{name: "scenario list", args: []string{"scenario", "list"}},
+		{name: "scenario run neither source", args: []string{"scenario", "run"}, wantErr: "exactly one of --name or --json"},
+		{name: "scenario run both sources", args: []string{"scenario", "run", "--name", "x", "--json", "y"}, wantErr: "exactly one of --name or --json"},
+		{name: "scenario run unknown name", args: []string{"scenario", "run", "--name", "no-such"}, wantErr: `unknown scenario "no-such"`},
+		{name: "scenario run bad format", args: []string{"scenario", "run", "--name", "neutral-baseline", "-format", "bogus"}, wantErr: `unknown format "bogus"`},
+		{name: "scenario run override without ensemble", args: []string{"scenario", "run", "--name", "archetypes-capacity", "-seed", "7"}, wantErr: "has no ensemble seed"},
+		{name: "scenario run missing json file", args: []string{"scenario", "run", "--json", "/no/such/file.json"}, wantErr: "no such file"},
+
+		{name: "serve bad flag", args: []string{"serve", "-bogus"}, usage: true},
+		{name: "serve trailing argument", args: []string{"serve", "extra"}, usage: true},
+		{name: "serve negative workers", args: []string{"serve", "-workers", "-1"}, usage: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			quiet(t)
+			err := run(tc.args)
+			switch {
+			case tc.usage:
+				if !errors.Is(err, errUsage) {
+					t.Fatalf("run(%q) = %v, want the errUsage sentinel", tc.args, err)
+				}
+			case tc.wantHelp:
+				if !errors.Is(err, flag.ErrHelp) {
+					t.Fatalf("run(%q) = %v, want flag.ErrHelp", tc.args, err)
+				}
+			case tc.wantErr == "":
+				if err != nil {
+					t.Fatalf("run(%q) = %v, want nil", tc.args, err)
+				}
+			default:
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+				}
+				if errors.Is(err, errUsage) {
+					t.Fatalf("run(%q) returned errUsage; subcommand errors must stay distinct", tc.args)
+				}
+			}
+		})
+	}
+}
+
+// tinyScenarioJSON is a 2-CP explicit scenario solving in microseconds, for
+// end-to-end CLI tests.
+const tinyScenarioJSON = `{
+  "name": "cli-test-tiny",
+  "title": "CLI test scenario",
+  "population": {
+    "kind": "explicit",
+    "cps": [
+      {"name": "a", "alpha": 0.5, "theta_hat": 100, "v": 1, "phi": 2, "demand": {"family": "exponential", "beta": 2}},
+      {"name": "b", "alpha": 0.8, "theta_hat": 200, "v": 0.5, "phi": 1, "demand": {"family": "constant"}}
+    ]
+  },
+  "providers": [{"name": "neutral", "gamma": 1}],
+  "sweep": {"axis": "nu", "values": [50, 100, 150], "metrics": ["phi", "utilization"]}
+}`
+
+func TestScenarioRunWritesCSVOut(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(jsonPath, []byte(tinyScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+
+	err := run([]string{"scenario", "run", "--json", jsonPath, "-format", "csv", "-out", outDir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// One CSV per metric table, named <scenario>_<metric>.csv.
+	for _, metric := range []string{"phi", "utilization"} {
+		path := filepath.Join(outDir, "cli-test-tiny_"+metric+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("expected CSV output: %v", err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has %d rows, want a header plus data", path, len(rows))
+		}
+		header := strings.Join(rows[0], ",")
+		if header != "series,nu,"+metric {
+			t.Fatalf("%s header = %q", path, header)
+		}
+		// 3 sweep points per series.
+		if got := len(rows) - 1; got%3 != 0 || got == 0 {
+			t.Fatalf("%s has %d data rows, want a multiple of the 3 sweep points", path, got)
+		}
+	}
+}
+
+func TestRunExperimentWritesCSVOut(t *testing.T) {
+	quiet(t)
+	outDir := filepath.Join(t.TempDir(), "out")
+	err := run([]string{"run", "fig2", "-fast", "-format", "csv", "-out", outDir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(outDir, "fig2_table*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fig2 CSVs written under %s (err %v)", outDir, err)
+	}
+	b, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "series,") {
+		t.Fatalf("CSV does not start with the long-form header: %q", string(b[:min(40, len(b))]))
+	}
+}
+
+func TestScenarioRunSeedOverrideChangesOutput(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	outA := filepath.Join(dir, "a")
+	outB := filepath.Join(dir, "b")
+	outC := filepath.Join(dir, "c")
+	base := []string{"scenario", "run", "--name", "neutral-baseline", "-cps", "40", "-format", "csv"}
+	for _, tc := range []struct {
+		out  string
+		seed string
+	}{{outA, "1"}, {outB, "1"}, {outC, "2"}} {
+		args := append(append([]string{}, base...), "-seed", tc.seed, "-out", tc.out)
+		if err := run(args); err != nil {
+			t.Fatalf("run(%q): %v", args, err)
+		}
+	}
+	read := func(dir string) string {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, "neutral-baseline_phi.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if read(outA) != read(outB) {
+		t.Fatal("same seed produced different output (determinism broken)")
+	}
+	if read(outA) == read(outC) {
+		t.Fatal("-seed override had no effect on the output")
+	}
+}

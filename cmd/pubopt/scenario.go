@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,8 +16,9 @@ import (
 // run over the declarative scenario registry.
 func scenarioCmd(args []string) error {
 	if len(args) == 0 {
-		scenarioUsage()
-		return fmt.Errorf("scenario: missing subcommand")
+		fmt.Fprintln(os.Stderr, "pubopt scenario: missing subcommand")
+		scenarioUsage(os.Stderr)
+		return errUsage
 	}
 	switch args[0] {
 	case "list":
@@ -41,16 +43,17 @@ func scenarioCmd(args []string) error {
 	case "run":
 		return scenarioRunCmd(args[1:])
 	case "help", "-h", "--help":
-		scenarioUsage()
+		scenarioUsage(os.Stdout)
 		return nil
 	default:
-		scenarioUsage()
-		return fmt.Errorf("scenario: unknown subcommand %q", args[0])
+		fmt.Fprintf(os.Stderr, "pubopt scenario: unknown subcommand %q\n", args[0])
+		scenarioUsage(os.Stderr)
+		return errUsage
 	}
 }
 
-func scenarioUsage() {
-	fmt.Fprint(os.Stderr, `pubopt scenario — declarative market experiments
+func scenarioUsage(w io.Writer) {
+	fmt.Fprint(w, `pubopt scenario — declarative market experiments
 
 subcommands:
   list                      list the built-in named scenarios
@@ -62,6 +65,10 @@ subcommands:
 flags for run:
   -format chart|text|csv    output format to stdout (default chart)
   -out DIR                  also write each table as CSV under DIR
+  -seed N                   override the population's ensemble seed
+                            (0 = the scenario's own value)
+  -cps N                    override the population's ensemble size
+                            (0 = the scenario's own value)
   -workers N                parallel curves/chunks/batches (0 = GOMAXPROCS)
 `)
 }
@@ -72,8 +79,10 @@ func scenarioRunCmd(args []string) error {
 	jsonPath := fs.String("json", "", "path to a scenario JSON file (- for stdin)")
 	format := fs.String("format", "chart", "output format: chart, text or csv")
 	outDir := fs.String("out", "", "directory for CSV output (one file per table)")
+	seed := fs.Uint64("seed", 0, "ensemble seed override (0 = scenario value)")
+	cps := fs.Int("cps", 0, "ensemble size override (0 = scenario value)")
 	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if (*name == "") == (*jsonPath == "") {
@@ -106,6 +115,9 @@ func scenarioRunCmd(args []string) error {
 		f.Close()
 	}
 	if err != nil {
+		return err
+	}
+	if err := s.ApplyEnsembleOverrides(*seed, *cps); err != nil {
 		return err
 	}
 

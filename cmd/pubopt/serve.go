@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	publicoption "github.com/netecon-sim/publicoption"
+)
+
+// serveCmd runs the HTTP query service: the scenario and experiment
+// registries behind a JSON API with a content-addressed equilibrium cache
+// (see docs/SERVICE.md).
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", publicoption.DefaultServiceCacheEntries,
+		"equilibrium cache LRU bound (negative disables caching)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usageErrorf("pubopt serve: unexpected argument %q", fs.Arg(0))
+	}
+	if *workers < 0 {
+		return usageErrorf("pubopt serve: -workers must be non-negative, got %d", *workers)
+	}
+
+	logger := log.New(os.Stderr, "pubopt-serve ", log.LstdFlags)
+	handler := publicoption.NewService(publicoption.ServiceOptions{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		Log:          logger,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d, cache-entries=%d)", *addr, *workers, *cacheEntries)
+		errCh <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}

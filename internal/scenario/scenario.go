@@ -525,6 +525,25 @@ func (p *PopulationSpec) ensembleConfig() traffic.EnsembleConfig {
 	return cfg
 }
 
+// generateEnsemble draws the non-batched random population. The
+// independent-φ setting follows the appendix convention of
+// traffic.PaperPopulation: the four CP characteristics come from the same
+// stream as the correlated setting and φ is redrawn from a separate stream
+// (seed+1) — so the CP characteristics match across φ settings, and a
+// default-parameter "ensemble" is the "paper" population under either
+// setting. (Batched ensembles keep their own per-batch seed streams and
+// draw φ inline; they are a distinct, documented scheme.)
+func (p *PopulationSpec) generateEnsemble() traffic.Population {
+	cfg := p.ensembleConfig()
+	if cfg.Phi != traffic.PhiIndependent {
+		return cfg.Generate(numeric.NewRNG(p.seed()))
+	}
+	cfg.Phi = traffic.PhiCorrelated
+	pop := cfg.Generate(numeric.NewRNG(p.seed()))
+	traffic.RedrawPhiIndependent(pop, p.seed()+1)
+	return pop
+}
+
 // Materialize builds the in-memory CP population. Batched ensembles are
 // handled separately by the runner; Materialize on them returns the full
 // population and is intended for tests and small N.
@@ -541,7 +560,7 @@ func (p *PopulationSpec) Materialize() (traffic.Population, error) {
 		if p.Batch > 0 {
 			return p.materializeBatched()
 		}
-		return p.ensembleConfig().Generate(numeric.NewRNG(p.seed())), nil
+		return p.generateEnsemble(), nil
 	case "explicit":
 		pop := make(traffic.Population, len(p.CPs))
 		for i, cp := range p.CPs {
@@ -569,6 +588,47 @@ func (p *PopulationSpec) Materialize() (traffic.Population, error) {
 // JSON renders the scenario as indented JSON.
 func (s *Scenario) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// CanonicalJSON renders the scenario in its canonical serialized form:
+// compact JSON with struct fields in declaration order and zero-valued
+// optional fields omitted. Two scenarios have equal canonical bytes when
+// their specifications match field-for-field; this is what
+// content-addressed caches (internal/cache) hash to key solved results.
+// Note the address is syntactic, not semantic: spelling out a default
+// (e.g. "n": 1000 instead of omitting it) changes the bytes, so such a
+// scenario re-solves into its own cache entry — a cost, never an error.
+func (s *Scenario) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// ApplyEnsembleOverrides re-seeds (seed != 0) or re-sizes (n != 0) the
+// scenario's random CP population in place — the scenario-level counterpart
+// of the -seed/-cps experiment flags. The "paper" population is the default
+// ensemble by another name, so overriding it switches the kind to
+// "ensemble"; populations with no random draw (archetypes, explicit) reject
+// overrides.
+func (s *Scenario) ApplyEnsembleOverrides(seed uint64, n int) error {
+	if seed == 0 && n == 0 {
+		return nil
+	}
+	switch s.Population.Kind {
+	case "paper":
+		s.Population.Kind = "ensemble"
+	case "ensemble":
+	default:
+		return fmt.Errorf("scenario %q: population kind %q has no ensemble seed or size to override", s.Name, s.Population.Kind)
+	}
+	if seed != 0 {
+		s.Population.Seed = seed
+	}
+	if n != 0 {
+		if n < 0 {
+			return fmt.Errorf("scenario %q: ensemble size override %d is negative", s.Name, n)
+		}
+		s.Population.N = n
+	}
+	return s.Validate()
 }
 
 // Load parses a scenario from JSON and validates it.

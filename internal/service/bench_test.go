@@ -1,0 +1,79 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchScenario is a registered scenario whose cold solve is substantial
+// (a 1000-CP monopoly pricing sweep, ~tens of milliseconds) so the
+// cold-vs-warm contrast measures the cache, not HTTP overhead.
+const benchScenario = "monopoly-price-sweep"
+
+func postRun(b testing.TB, s *Server) time.Duration {
+	b.Helper()
+	r := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(`{"scenario": "`+benchScenario+`"}`))
+	w := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(w, r)
+	elapsed := time.Since(start)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	return elapsed
+}
+
+// BenchmarkRunCold measures a cache-miss request: every iteration gets a
+// fresh server, so the full equilibrium solve runs each time.
+func BenchmarkRunCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Options{})
+		b.StartTimer()
+		postRun(b, s)
+	}
+}
+
+// BenchmarkRunWarm measures a cache-hit request against a primed server:
+// the solver never runs, only the lookup and response serialization.
+func BenchmarkRunWarm(b *testing.B) {
+	s := New(Options{})
+	postRun(b, s) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postRun(b, s)
+	}
+}
+
+// TestWarmCacheSpeedup pins the acceptance criterion: a warm cache hit must
+// answer at least 100x faster than the cold solve of the same registered
+// scenario. The cold time is one real solve; the warm time is the fastest
+// of several hits, which filters scheduler noise without hiding a slow path.
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the wall-clock ratio")
+	}
+	s := New(Options{})
+	cold := postRun(t, s)
+
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < 50; i++ {
+		if d := postRun(t, s); d < warm {
+			warm = d
+		}
+	}
+	if st := s.CacheStats(); st.Misses != 1 || st.Hits != 50 {
+		t.Fatalf("cache stats %+v, want 1 miss and 50 hits", st)
+	}
+	speedup := float64(cold) / float64(warm)
+	t.Logf("cold solve %v, warm hit %v, speedup %.0fx", cold, warm, speedup)
+	if speedup < 100 {
+		t.Errorf("warm cache hit is only %.1fx faster than a cold solve, want >= 100x", speedup)
+	}
+}

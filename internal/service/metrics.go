@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/netecon-sim/publicoption/internal/cache"
+)
+
+// solveBuckets are the latency histogram bounds in seconds. Warm cache hits
+// land well under the first bucket; cold full-grid experiment solves in the
+// last ones.
+var solveBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10}
+
+// metrics is a minimal dependency-free registry rendering the Prometheus
+// text exposition format. It tracks exactly what the service needs: request
+// counts by route and status code, the solve-latency histogram, and the
+// number of solves in flight; cache counters are read live from the store.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route pattern -> status code -> count
+	counts   []uint64                  // histogram bucket counts (len(solveBuckets)+1, last = +Inf)
+	sum      float64                   // histogram sum of observations (seconds)
+	total    uint64                    // histogram observation count
+	inFlight int64                     // solves currently executing
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]uint64),
+		counts:   make([]uint64, len(solveBuckets)+1),
+	}
+}
+
+func (m *metrics) observeRequest(route string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+}
+
+func (m *metrics) observeSolve(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.SearchFloat64s(solveBuckets, seconds)
+	m.counts[i]++
+	m.sum += seconds
+	m.total++
+}
+
+func (m *metrics) solveStarted() {
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) solveFinished() {
+	m.mu.Lock()
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+// render writes the full exposition: request counters, cache gauges and
+// counters (from st), the in-flight gauge, the solve histogram, and uptime.
+func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pubopt_http_requests_total HTTP requests served, by route pattern and status code.\n")
+	fmt.Fprintf(w, "# TYPE pubopt_http_requests_total counter\n")
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		codes := make([]int, 0, len(m.requests[r]))
+		for c := range m.requests[r] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "pubopt_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, m.requests[r][c])
+		}
+	}
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("pubopt_cache_hits_total", "Run requests served from the equilibrium cache.", st.Hits)
+	counter("pubopt_cache_misses_total", "Run requests that executed a solve.", st.Misses)
+	counter("pubopt_cache_coalesced_total", "Run requests deduplicated onto an in-flight identical solve.", st.Coalesced)
+	counter("pubopt_cache_evictions_total", "Cache entries dropped by the LRU bound.", st.Evictions)
+	gauge("pubopt_cache_entries", "Results currently cached.", float64(st.Entries))
+	gauge("pubopt_cache_max_entries", "The cache's LRU bound (0 = caching disabled).", float64(st.MaxEntries))
+	gauge("pubopt_runs_in_flight", "Solves currently executing.", float64(m.inFlight))
+
+	fmt.Fprintf(w, "# HELP pubopt_solve_duration_seconds Latency of cache-miss solves (cold equilibrium computations).\n")
+	fmt.Fprintf(w, "# TYPE pubopt_solve_duration_seconds histogram\n")
+	var cum uint64
+	for i, le := range solveBuckets {
+		cum += m.counts[i]
+		fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.counts[len(solveBuckets)]
+	fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pubopt_solve_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(w, "pubopt_solve_duration_seconds_count %d\n", m.total)
+
+	gauge("pubopt_uptime_seconds", "Seconds since the server started.", uptimeSeconds)
+}

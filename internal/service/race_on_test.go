@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions skip themselves under its overhead.
+const raceEnabled = true

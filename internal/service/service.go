@@ -1,0 +1,505 @@
+// Package service is the long-running serving layer over the model: a
+// stdlib-only HTTP JSON API exposing the scenario registry, the experiment
+// registry, and a run endpoint that solves equilibria on demand.
+//
+// Every run result flows through a content-addressed equilibrium cache
+// (internal/cache): the request's full specification — the scenario's
+// canonical JSON, or the experiment id plus its result-changing config — is
+// hashed into a key, identical concurrent requests are deduplicated onto
+// one solve, and a bounded worker pool keeps concurrent distinct solves
+// from oversubscribing the CPU. The model is deterministic, so cached
+// results never go stale.
+//
+// Endpoints:
+//
+//	GET  /v1/scenarios              list the named scenarios
+//	GET  /v1/scenarios/{name}       one scenario's full JSON definition
+//	POST /v1/runs                   solve a named or inline scenario
+//	GET  /v1/experiments            list the registered figure experiments
+//	POST /v1/experiments/{id}/run   run a figure experiment
+//	GET  /healthz                   liveness probe
+//	GET  /metrics                   Prometheus text-format metrics
+//
+// See docs/SERVICE.md for the endpoint reference with examples.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/netecon-sim/publicoption/internal/cache"
+	"github.com/netecon-sim/publicoption/internal/experiment"
+	"github.com/netecon-sim/publicoption/internal/scenario"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// DefaultCacheEntries is the LRU bound used when Options.CacheEntries is 0.
+const DefaultCacheEntries = 256
+
+// maxRequestBody bounds run-request bodies (inline scenarios included);
+// 1 MiB comfortably fits any plausible explicit CP population.
+const maxRequestBody = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds how many solves may execute concurrently (the cache's
+	// worker pool). 0 means GOMAXPROCS. Each solve's internal parallelism
+	// is scaled down so pool × per-solve workers ≈ GOMAXPROCS.
+	Workers int
+	// CacheEntries is the equilibrium cache's LRU bound. 0 means
+	// DefaultCacheEntries; negative disables caching (singleflight and the
+	// worker pool remain).
+	CacheEntries int
+	// Log receives one line per cold solve and per rejected request.
+	// Nil discards logs.
+	Log *log.Logger
+}
+
+// Server is the HTTP service. Construct with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	mux          *http.ServeMux
+	store        *cache.Store
+	metrics      *metrics
+	log          *log.Logger
+	start        time.Time
+	solveWorkers int // default per-solve parallelism
+
+	// Registry data precomputed at startup so the hot paths never re-derive
+	// it: the registries are immutable and scenario.All/Get deep-copy
+	// through JSON on every call.
+	scenarioInfos   []ScenarioInfo
+	experimentInfos []ExperimentInfo
+	scenarios       map[string]*scenario.Scenario // read-only, for GET /v1/scenarios/{name}
+	scenarioKeys    map[string]string             // name -> content-address cache key
+
+	// Runner indirection, overridable in tests to count or stub solves.
+	runScenario   func(s *scenario.Scenario, workers int) ([]*sweep.Table, error)
+	runExperiment func(e *experiment.Experiment, cfg experiment.Config) ([]*sweep.Table, error)
+}
+
+// New builds a Server with its cache, worker pool and routes.
+func New(opts Options) *Server {
+	pool := opts.Workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	} else if entries < 0 {
+		entries = 0
+	}
+	logger := opts.Log
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	perSolve := runtime.GOMAXPROCS(0) / pool
+	if perSolve < 1 {
+		perSolve = 1
+	}
+	s := &Server{
+		mux:          http.NewServeMux(),
+		store:        cache.New(entries, pool),
+		metrics:      newMetrics(),
+		log:          logger,
+		start:        time.Now(),
+		solveWorkers: perSolve,
+		runScenario: func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
+			return sc.Run(scenario.RunOptions{Workers: workers})
+		},
+		runExperiment: func(e *experiment.Experiment, cfg experiment.Config) ([]*sweep.Table, error) {
+			return e.Run(cfg), nil
+		},
+		scenarios:    make(map[string]*scenario.Scenario),
+		scenarioKeys: make(map[string]string),
+	}
+	for _, sc := range scenario.All() {
+		s.scenarioInfos = append(s.scenarioInfos, ScenarioInfo{Name: sc.Name, Title: sc.Title, Reference: sc.Reference})
+		s.scenarios[sc.Name] = sc
+		canon, err := sc.CanonicalJSON()
+		if err != nil {
+			panic("service: built-in scenario does not serialize: " + err.Error())
+		}
+		key, err := cache.Key("run/scenario/v1", json.RawMessage(canon))
+		if err != nil {
+			panic("service: hashing built-in scenario: " + err.Error())
+		}
+		s.scenarioKeys[sc.Name] = key
+	}
+	for _, e := range experiment.All() {
+		s.experimentInfos = append(s.experimentInfos, ExperimentInfo{ID: e.ID, Title: e.Title, Expect: e.Expect})
+	}
+	s.handle("GET /v1/scenarios", s.handleListScenarios)
+	s.handle("GET /v1/scenarios/{name}", s.handleGetScenario)
+	s.handle("POST /v1/runs", s.handleRun)
+	s.handle("GET /v1/experiments", s.handleListExperiments)
+	s.handle("POST /v1/experiments/{id}/run", s.handleExperimentRun)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CacheStats exposes the equilibrium cache's counters (for tests and ops).
+func (s *Server) CacheStats() cache.Stats { return s.store.Stats() }
+
+// handle registers a routed handler wrapped with request counting, labeled
+// by the route pattern so metrics cardinality stays bounded.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeRequest(route, sw.code)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ---------------------------------------------------------------------------
+// Response shapes.
+
+// ScenarioInfo is one row of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name      string `json:"name"`
+	Title     string `json:"title"`
+	Reference string `json:"reference,omitempty"`
+}
+
+// ExperimentInfo is one row of GET /v1/experiments.
+type ExperimentInfo struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Expect string `json:"expect,omitempty"`
+}
+
+// Series is one curve of a result table.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// Table is one result table (a reproduced figure) in wire form.
+type Table struct {
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+}
+
+// RunResult is the cacheable outcome of one solve.
+type RunResult struct {
+	Kind   string  `json:"kind"` // "scenario" or "experiment"
+	Name   string  `json:"name"`
+	Title  string  `json:"title"`
+	Tables []Table `json:"tables"`
+}
+
+// RunResponse is what run endpoints return: the (possibly cached) result
+// plus how the cache satisfied the request and the request's wall time.
+type RunResponse struct {
+	RunResult
+	Cache     string  `json:"cache"` // "hit", "miss" or "coalesced"
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func tablesToWire(tables []*sweep.Table) []Table {
+	out := make([]Table, len(tables))
+	for i, t := range tables {
+		wt := Table{Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel}
+		for _, sr := range t.Series {
+			wt.Series = append(wt.Series, Series{
+				Name: sr.Name,
+				X:    append([]float64(nil), sr.X...),
+				Y:    append([]float64(nil), sr.Y...),
+			})
+		}
+		out[i] = wt
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleListScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.scenarioInfos)
+}
+
+func (s *Server) handleGetScenario(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sc, ok := s.scenarios[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.experimentInfos)
+}
+
+// runRequest is the body of POST /v1/runs.
+type runRequest struct {
+	// Scenario names a registered scenario; ScenarioJSON inlines a full
+	// scenario definition (the same schema as docs/SCENARIOS.md). Exactly
+	// one must be set.
+	Scenario     string          `json:"scenario,omitempty"`
+	ScenarioJSON json.RawMessage `json:"scenario_json,omitempty"`
+	// Workers overrides the solve's internal parallelism. Execution-only:
+	// it does not participate in the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := decodeJSONBody(w, r, &req, false); err != nil {
+		writeError(w, bodyErrorStatus(err), "%v", err)
+		return
+	}
+	if (req.Scenario == "") == (len(req.ScenarioJSON) == 0) {
+		writeError(w, http.StatusBadRequest, "give exactly one of \"scenario\" (a registered name) or \"scenario_json\" (an inline definition)")
+		return
+	}
+
+	// Content address: the canonical scenario bytes, regardless of whether
+	// they arrived as a name or inline. A named scenario and its identical
+	// inline copy share one cache entry. The named path uses the key
+	// precomputed at startup, so warm hits never touch the registry; the
+	// scenario itself is only materialized (a deep copy) inside the solve.
+	var key string
+	var getScenario func() (*scenario.Scenario, error)
+	if req.Scenario != "" {
+		var ok bool
+		key, ok = s.scenarioKeys[req.Scenario]
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown scenario %q", req.Scenario)
+			return
+		}
+		getScenario = func() (*scenario.Scenario, error) {
+			sc, ok := scenario.Get(req.Scenario)
+			if !ok {
+				return nil, fmt.Errorf("scenario %q vanished from the registry", req.Scenario)
+			}
+			return sc, nil
+		}
+	} else {
+		sc, err := scenario.Load(strings.NewReader(string(req.ScenarioJSON)))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		canon, err := sc.CanonicalJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "serializing scenario: %v", err)
+			return
+		}
+		key, err = cache.Key("run/scenario/v1", json.RawMessage(canon))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		getScenario = func() (*scenario.Scenario, error) { return sc, nil }
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.solveWorkers
+	}
+	s.respondRun(w, key, func() (any, error) {
+		sc, err := getScenario()
+		if err != nil {
+			return nil, err
+		}
+		tables, err := s.runScenario(sc, workers)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Kind: "scenario", Name: sc.Name, Title: sc.Title, Tables: tablesToWire(tables)}, nil
+	})
+}
+
+// experimentRunRequest is the optional body of POST /v1/experiments/{id}/run.
+type experimentRunRequest struct {
+	Fast bool   `json:"fast,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	CPs  int    `json:"cps,omitempty"`
+	// Workers is execution-only and excluded from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := experiment.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	var req experimentRunRequest
+	if err := decodeJSONBody(w, r, &req, true); err != nil {
+		writeError(w, bodyErrorStatus(err), "%v", err)
+		return
+	}
+	if req.CPs < 0 {
+		writeError(w, http.StatusBadRequest, "cps must be non-negative, got %d", req.CPs)
+		return
+	}
+
+	// The key covers exactly the result-changing config; Workers changes
+	// only how fast the answer arrives.
+	type experimentKey struct {
+		ID   string `json:"id"`
+		Fast bool   `json:"fast"`
+		Seed uint64 `json:"seed"`
+		CPs  int    `json:"cps"`
+	}
+	key, err := cache.Key("run/experiment/v1", experimentKey{ID: id, Fast: req.Fast, Seed: req.Seed, CPs: req.CPs})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.solveWorkers
+	}
+	cfg := experiment.Config{Fast: req.Fast, Seed: req.Seed, CPs: req.CPs, Workers: workers}
+	s.respondRun(w, key, func() (any, error) {
+		tables, err := s.runExperiment(e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Kind: "experiment", Name: e.ID, Title: e.Title, Tables: tablesToWire(tables)}, nil
+	})
+}
+
+// respondRun funnels both run endpoints through the cache and renders the
+// shared response envelope. The solve closure runs at most once per key
+// across all concurrent requests.
+func (s *Server) respondRun(w http.ResponseWriter, key string, solve func() (any, error)) {
+	reqStart := time.Now()
+	val, status, err := s.store.Do(key, func() (any, error) {
+		s.metrics.solveStarted()
+		defer s.metrics.solveFinished()
+		solveStart := time.Now()
+		v, err := solve()
+		s.metrics.observeSolve(time.Since(solveStart).Seconds())
+		return v, err
+	})
+	if err != nil {
+		s.log.Printf("solve %s: %v", key[:12], err)
+		writeError(w, http.StatusInternalServerError, "solve failed: %v", err)
+		return
+	}
+	result := val.(*RunResult)
+	if status == cache.Miss {
+		s.log.Printf("solved %s %q in %.3fs (key %s)", result.Kind, result.Name, time.Since(reqStart).Seconds(), key[:12])
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		RunResult: *result,
+		Cache:     status.String(),
+		ElapsedMS: float64(time.Since(reqStart).Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, s.store.Stats(), time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing.
+
+// errBodyTooLarge marks requests whose body exceeded maxRequestBody; the
+// handlers map it to 413 instead of the generic 400.
+var errBodyTooLarge = fmt.Errorf("request body exceeds the %d-byte limit", maxRequestBody)
+
+// decodeJSONBody parses the request body into v, rejecting unknown fields,
+// trailing garbage, and bodies over maxRequestBody (errBodyTooLarge). An
+// empty body is an error unless allowEmpty (the experiment run endpoint
+// treats it as "all defaults").
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errBodyTooLarge
+		}
+		if errors.Is(err, io.EOF) {
+			if allowEmpty {
+				return nil
+			}
+			return fmt.Errorf("empty request body")
+		}
+		return fmt.Errorf("parsing request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("request body has trailing data after the JSON object")
+	}
+	return nil
+}
+
+// bodyErrorStatus picks the status code for a decodeJSONBody failure.
+func bodyErrorStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// A result that cannot serialize (e.g. NaN from a degenerate
+		// market) is a server-side failure, not a client one.
+		writeError(w, http.StatusInternalServerError, "serializing response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	b, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}

@@ -113,10 +113,18 @@ func PaperPopulation(phi PhiSetting) Population {
 	if phi == PhiCorrelated {
 		return base
 	}
-	// Redraw φ independently, preserving everything else.
-	phiRNG := numeric.NewRNG(DefaultSeed + 1)
-	for i := range base {
-		base[i].Phi = phiRNG.Uniform(0, phiRNG.Uniform(0, 10))
-	}
+	RedrawPhiIndependent(base, DefaultSeed+1)
 	return base
+}
+
+// RedrawPhiIndependent overwrites every CP's φ with the appendix's
+// independent draw φ ~ U[0, U[0,10]], consuming a dedicated RNG stream
+// seeded with seed so the CP characteristics (drawn elsewhere) are
+// untouched. PaperPopulation and the scenario engine share this convention;
+// change it here and both stay in lockstep.
+func RedrawPhiIndependent(pop Population, seed uint64) {
+	phiRNG := numeric.NewRNG(seed)
+	for i := range pop {
+		pop[i].Phi = phiRNG.Uniform(0, phiRNG.Uniform(0, 10))
+	}
 }
