@@ -1,0 +1,160 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	publicoption "github.com/netecon-sim/publicoption"
+)
+
+// gridCmd dispatches the `pubopt grid` subcommands: 2-D grid scenarios
+// (a column axis × a row axis) solved on the work-stealing row runner and
+// rendered as ASCII heatmaps or long-form CSV.
+func gridCmd(args []string) error {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "pubopt grid: missing subcommand")
+		gridUsage(os.Stderr)
+		return errUsage
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range publicoption.GridScenarioNames() {
+			s, _ := publicoption.ScenarioByName(name)
+			fmt.Printf("%-26s %s\n", s.Name, s.Title)
+		}
+		return nil
+	case "run":
+		return gridRunCmd(args[1:])
+	case "help", "-h", "--help":
+		gridUsage(os.Stdout)
+		return nil
+	default:
+		fmt.Fprintf(os.Stderr, "pubopt grid: unknown subcommand %q\n", args[0])
+		gridUsage(os.Stderr)
+		return errUsage
+	}
+}
+
+func gridUsage(w io.Writer) {
+	fmt.Fprint(w, `pubopt grid — 2-D grid sweeps over declarative scenarios
+
+subcommands:
+  list                      list the built-in grid scenarios
+  run --name <name> [flags] run a built-in grid scenario
+  run --json <file> [flags] run a grid scenario from a JSON file ("-" = stdin;
+                            any scenario whose sweep declares a "grid" row axis)
+
+flags for run:
+  -format heatmap|csv       output format to stdout (default heatmap)
+  -layer NAME               render only this layer's heatmap (default: all);
+                            layers are "phi" or metric/provider, e.g.
+                            "share/public-option"
+  -out DIR                  also write the grid as long-form CSV under DIR
+  -seed N                   override the population's ensemble seed
+  -cps N                    override the population's ensemble size
+  -workers N                parallel rows, work-stealing (0 = GOMAXPROCS)
+`)
+}
+
+func gridRunCmd(args []string) error {
+	fs := flag.NewFlagSet("grid run", flag.ContinueOnError)
+	name := fs.String("name", "", "built-in grid scenario name")
+	jsonPath := fs.String("json", "", "path to a grid scenario JSON file (- for stdin)")
+	format := fs.String("format", "heatmap", "output format: heatmap or csv")
+	layer := fs.String("layer", "", "heatmap layer to render (default: all)")
+	outDir := fs.String("out", "", "directory for long-form CSV output")
+	seed := fs.Uint64("seed", 0, "ensemble seed override (0 = scenario value)")
+	cps := fs.Int("cps", 0, "ensemble size override (0 = scenario value)")
+	workers := fs.Int("workers", 0, "parallel rows (0 = GOMAXPROCS)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if (*name == "") == (*jsonPath == "") {
+		return fmt.Errorf("grid run: give exactly one of --name or --json")
+	}
+	switch *format {
+	case "heatmap", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (heatmap or csv)", *format)
+	}
+
+	var (
+		s   *publicoption.Scenario
+		err error
+	)
+	if *name != "" {
+		var ok bool
+		s, ok = publicoption.ScenarioByName(*name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try 'pubopt grid list')", *name)
+		}
+	} else if *jsonPath == "-" {
+		s, err = publicoption.LoadScenario(os.Stdin)
+	} else {
+		f, ferr := os.Open(*jsonPath)
+		if ferr != nil {
+			return ferr
+		}
+		s, err = publicoption.LoadScenario(f)
+		f.Close()
+	}
+	if err != nil {
+		return err
+	}
+	if !s.IsGrid() {
+		return fmt.Errorf("scenario %q declares a 1-D sweep; run it with 'pubopt scenario run', or add a sweep.grid row axis", s.Name)
+	}
+	if err := s.ApplyEnsembleOverrides(*seed, *cps); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	grid, err := s.RunGrid(publicoption.ScenarioRunOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: %s (%d cells = %d×%d, %.1fs)\n",
+		s.Name, s.Title, grid.Cells(), len(grid.Xs), len(grid.Ys), time.Since(start).Seconds())
+	if s.Reference != "" {
+		fmt.Printf("   reference: %s\n", s.Reference)
+	}
+	fmt.Println()
+
+	switch *format {
+	case "heatmap":
+		if *layer != "" {
+			fmt.Println(publicoption.RenderHeatmap(grid, *layer))
+		} else {
+			for _, l := range grid.Layers {
+				fmt.Println(publicoption.RenderHeatmap(grid, l.Name))
+			}
+		}
+	case "csv":
+		if err := grid.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("%s_grid.csv", s.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := grid.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	return nil
+}

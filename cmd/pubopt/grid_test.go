@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyGridJSON is a 2-CP explicit γ×ν grid solving in milliseconds, for
+// end-to-end CLI tests.
+const tinyGridJSON = `{
+  "name": "cli-test-grid",
+  "title": "CLI test grid",
+  "population": {
+    "kind": "explicit",
+    "cps": [
+      {"name": "a", "alpha": 1, "theta_hat": 2, "v": 0.5, "phi": 1, "demand": {"family": "constant"}},
+      {"name": "b", "alpha": 0.5, "theta_hat": 4, "v": 0.5, "phi": 0.5, "demand": {"family": "constant"}}
+    ]
+  },
+  "providers": [
+    {"name": "incumbent", "gamma": 0.5, "kappa": 1, "c": 0.4},
+    {"name": "po", "gamma": 0.5, "public_option": true}
+  ],
+  "sweep": {"axis": "poshare", "lo": 0.2, "hi": 0.4, "points": 3,
+            "metrics": ["phi", "share"],
+            "grid": {"axis": "nu", "values": [1, 2]}}
+}`
+
+func TestGridArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+		usage   bool
+	}{
+		{name: "grid without subcommand", args: []string{"grid"}, usage: true},
+		{name: "grid unknown subcommand", args: []string{"grid", "frobnicate"}, usage: true},
+		{name: "grid list", args: []string{"grid", "list"}},
+		{name: "grid run neither source", args: []string{"grid", "run"}, wantErr: "exactly one of --name or --json"},
+		{name: "grid run both sources", args: []string{"grid", "run", "--name", "x", "--json", "y"}, wantErr: "exactly one of --name or --json"},
+		{name: "grid run unknown name", args: []string{"grid", "run", "--name", "no-such"}, wantErr: `unknown scenario "no-such"`},
+		{name: "grid run bad format", args: []string{"grid", "run", "--name", "po-sizing-gamma-nu", "-format", "bogus"}, wantErr: `unknown format "bogus"`},
+		{name: "grid run bad flag", args: []string{"grid", "run", "-bogus"}, usage: true},
+		{name: "grid run 1-D scenario", args: []string{"grid", "run", "--name", "neutral-baseline"}, wantErr: "declares a 1-D sweep"},
+		{name: "grid run missing json file", args: []string{"grid", "run", "--json", "/no/such/file.json"}, wantErr: "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			quiet(t)
+			err := run(tc.args)
+			switch {
+			case tc.usage:
+				if !errors.Is(err, errUsage) {
+					t.Fatalf("run(%q) = %v, want the errUsage sentinel", tc.args, err)
+				}
+			case tc.wantErr == "":
+				if err != nil {
+					t.Fatalf("run(%q) = %v, want nil", tc.args, err)
+				}
+			default:
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+				}
+				if errors.Is(err, errUsage) {
+					t.Fatalf("run(%q) returned errUsage; subcommand errors must stay distinct", tc.args)
+				}
+			}
+		})
+	}
+}
+
+func TestGridRunWritesLongFormCSV(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(jsonPath, []byte(tinyGridJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+
+	if err := run([]string{"grid", "run", "--json", jsonPath, "-format", "csv", "-out", outDir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join(outDir, "cli-test-grid_grid.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("expected long-form CSV output: %v", err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header := strings.Join(rows[0], ","); header != "layer,poshare,nu,value" {
+		t.Fatalf("header = %q", header)
+	}
+	// 3 layers (phi, share/incumbent, share/po) × 6 cells each.
+	if got := len(rows) - 1; got != 18 {
+		t.Fatalf("grid CSV has %d data rows, want 18", got)
+	}
+	layers := make(map[string]int)
+	for _, row := range rows[1:] {
+		layers[row[0]]++
+	}
+	for _, l := range []string{"phi", "share/incumbent", "share/po"} {
+		if layers[l] != 6 {
+			t.Fatalf("layer %q has %d cells, want 6 (have %v)", l, layers[l], layers)
+		}
+	}
+}

@@ -11,6 +11,10 @@
 //	pubopt scenario show <name>
 //	pubopt scenario run --name <name> | --json <file>  [-format ...] [-out DIR]
 //	                                   [-seed N] [-cps N] [-workers N]
+//	pubopt grid list
+//	pubopt grid run --name <name> | --json <file>  [-format heatmap|csv]
+//	                                   [-layer NAME] [-out DIR]
+//	                                   [-seed N] [-cps N] [-workers N]
 //	pubopt serve [-addr HOST:PORT] [-workers N] [-cache-entries N]
 //
 // With -out, each table is written as CSV into DIR (one file per table);
@@ -85,6 +89,8 @@ func run(args []string) error {
 		return runCmd(args[1:])
 	case "scenario":
 		return scenarioCmd(args[1:])
+	case "grid":
+		return gridCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
 	case "serve":
@@ -107,6 +113,8 @@ commands:
   run <id ...|all> [flags]  run experiments and render their tables
   scenario <subcmd>         declarative market scenarios: list, show,
                             run --name <name> | --json <file>
+  grid <subcmd>             2-D grid sweeps (γ×ν, σ×ν, c×κ, ...): list,
+                            run --name <name> | --json <file>
   serve [flags]             HTTP query service with a content-addressed
                             equilibrium cache (see docs/SERVICE.md)
   verify [seed]             run the theorem battery (Axioms 1-4, Theorems
@@ -123,7 +131,8 @@ flags for run:
 flags for serve:
   -addr HOST:PORT           listen address (default :8080)
   -workers N                max concurrent solves (default GOMAXPROCS)
-  -cache-entries N          equilibrium cache LRU bound (default 256;
+  -cache-entries N          equilibrium cache LRU bound (default 2048;
+                            grid cells occupy one entry each;
                             negative disables caching)
 `)
 }

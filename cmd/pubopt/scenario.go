@@ -23,7 +23,11 @@ func scenarioCmd(args []string) error {
 	switch args[0] {
 	case "list":
 		for _, s := range publicoption.Scenarios() {
-			fmt.Printf("%-26s %s\n", s.Name, s.Title)
+			marker := ""
+			if s.IsGrid() {
+				marker = " [grid: run with 'pubopt grid run']"
+			}
+			fmt.Printf("%-26s %s%s\n", s.Name, s.Title, marker)
 		}
 		return nil
 	case "show":

@@ -1,0 +1,44 @@
+package publicoption
+
+import (
+	"github.com/netecon-sim/publicoption/internal/plot"
+	"github.com/netecon-sim/publicoption/internal/scenario"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// Grid-sweep surface: 2-D scenarios (a column axis × a row axis, e.g. the
+// Public Option share γ × per-capita capacity ν) compile into cell jobs,
+// solve on a work-stealing row runner with one warm-started solver per
+// worker, and render as long-form CSV or ASCII heatmaps. See
+// docs/SCENARIOS.md for the grid JSON schema and docs/ARCHITECTURE.md for
+// where grids sit in the layer stack.
+
+type (
+	// ScenarioGrid declares the optional second (row) axis of a scenario
+	// sweep; setting it on ScenarioSweep.Grid turns the 1-D sweep into a
+	// 2-D grid solved by Scenario.RunGrid.
+	ScenarioGrid = scenario.GridSpec
+	// ResultGrid is a solved 2-D grid: resolved axis values plus one scalar
+	// layer per recorded metric (per metric and provider for per-provider
+	// metrics).
+	ResultGrid = sweep.Grid
+	// ResultGridLayer is one scalar field of a ResultGrid.
+	ResultGridLayer = sweep.GridLayer
+	// GridJob is a compiled grid scenario: resolved cells plus a per-worker
+	// cell solver — the unit the serving layer caches cell-by-cell.
+	GridJob = scenario.GridJob
+	// GridCell is one solved grid cell: position, resolved coordinates, and
+	// one value per layer.
+	GridCell = scenario.Cell
+	// GridCellSpec is the content-addressable specification of one cell,
+	// hashed into per-cell equilibrium cache keys.
+	GridCellSpec = scenario.CellSpec
+)
+
+// GridScenarioNames lists the built-in 2-D grid scenarios, sorted.
+func GridScenarioNames() []string { return scenario.GridNames() }
+
+// RenderHeatmap renders one layer of a solved grid as an ASCII heatmap
+// (largest row-axis value on top, 10-symbol shade ramp, range legend).
+// An empty layer name selects the first layer.
+func RenderHeatmap(g *ResultGrid, layer string) string { return plot.Heatmap(g, layer) }

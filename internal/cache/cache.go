@@ -127,6 +127,19 @@ func New(maxEntries, workers int) *Store {
 	return s
 }
 
+// Reserve blocks until a worker-pool slot is free and returns its release
+// func (a no-op pair when the pool is unbounded). It lets callers that
+// execute solves outside Do — the batch endpoint's grid path, which runs
+// its own row-parallel solve — count against the same concurrency bound as
+// pooled solves.
+func (s *Store) Reserve() (release func()) {
+	if s.sem == nil {
+		return func() {}
+	}
+	s.sem <- struct{}{}
+	return func() { <-s.sem }
+}
+
 // Do returns the cached value for key, or executes solve to produce it.
 // Concurrent calls with the same key run solve exactly once: the first
 // caller solves (inside the worker pool), the rest block until it finishes
@@ -170,7 +183,8 @@ func (s *Store) Do(key string, solve func() (any, error)) (any, Status, error) {
 	return f.val, Miss, f.err
 }
 
-// Get returns the cached value without solving.
+// Get returns the cached value without solving. It is a silent peek: the
+// hit/miss counters are untouched (use Lookup for counted probes).
 func (s *Store) Get(key string) (any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,6 +194,34 @@ func (s *Store) Get(key string) (any, bool) {
 	}
 	s.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
+}
+
+// Lookup returns the cached value for key, counting the probe as a hit or
+// miss in Stats. It never solves and never coalesces — callers that plan to
+// produce missing values themselves (the batch endpoint's per-cell path,
+// where misses are solved in warm-started row batches rather than one
+// singleflight each) probe with Lookup and insert with Put.
+func (s *Store) Lookup(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key without solving, subject to the same LRU bound
+// as solved results (a no-op when caching is disabled). Put does not
+// deduplicate against in-flight solves of the same key: the model is
+// deterministic, so a racing solve writes the same bytes.
+func (s *Store) Put(key string, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.add(key, val)
 }
 
 // add inserts under s.mu, evicting from the LRU tail past the bound.

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// ramp orders heat symbols from cold (low values) to hot (high values).
+const ramp = " .:-=+*#%@"
+
+// cellWidth is how many columns each grid cell occupies; doubling the
+// symbol keeps cells roughly square in terminal fonts.
+const cellWidth = 2
+
+// Heatmap renders one layer of a 2-D grid as an ASCII heatmap: rows ordered
+// with the largest row-axis value on top (plot convention), cells shaded on
+// a 10-symbol ramp normalized to the layer's finite range, with the axes'
+// value ranges and the ramp legend below. An empty layer name selects the
+// grid's first layer; an unknown one renders an error placeholder, so a
+// typo'd -layer flag degrades visibly rather than panicking.
+func Heatmap(g *sweep.Grid, layer string) string {
+	if len(g.Layers) == 0 || len(g.Xs) == 0 || len(g.Ys) == 0 {
+		return "(no data)\n"
+	}
+	if layer == "" {
+		layer = g.Layers[0].Name
+	}
+	l := g.Layer(layer)
+	if l == nil {
+		return fmt.Sprintf("(no layer %q; have %s)\n", layer, layerNames(g))
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range l.Z {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s — %s\n", g.Title, layer)
+	} else {
+		fmt.Fprintf(&b, "%s\n", layer)
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	// Row order: largest row-axis value on top, whatever order Ys came in.
+	order := make([]int, len(g.Ys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, c int) bool { return g.Ys[order[a]] > g.Ys[order[c]] })
+
+	labels := make([]string, len(g.Ys))
+	pad := 0
+	for i, y := range g.Ys {
+		labels[i] = fmt.Sprintf("%.4g", y)
+		if len(labels[i]) > pad {
+			pad = len(labels[i])
+		}
+	}
+	if axis := fmt.Sprintf("%s\\%s", g.YLabel, g.XLabel); len(axis) > pad {
+		pad = len(axis)
+	}
+
+	fmt.Fprintf(&b, "%*s |\n", pad, fmt.Sprintf("%s\\%s", g.YLabel, g.XLabel))
+	for _, r := range order {
+		fmt.Fprintf(&b, "%*s |", pad, labels[r])
+		for c := range g.Xs {
+			v := l.Z[r][c]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteString(strings.Repeat("?", cellWidth))
+				continue
+			}
+			i := int((v - lo) / span * float64(len(ramp)-1))
+			if i < 0 {
+				i = 0
+			} else if i >= len(ramp) {
+				i = len(ramp) - 1
+			}
+			b.WriteString(strings.Repeat(string(ramp[i]), cellWidth))
+		}
+		b.WriteString("\n")
+	}
+	width := cellWidth * len(g.Xs)
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	xlo, xhi := fmt.Sprintf("%.4g", g.Xs[0]), fmt.Sprintf("%.4g", g.Xs[len(g.Xs)-1])
+	gap := width - len(xlo) - len(xhi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xlo, strings.Repeat(" ", gap), xhi)
+	fmt.Fprintf(&b, "%s  scale %.4g %q %.4g\n", strings.Repeat(" ", pad), lo, ramp, hi)
+	return b.String()
+}
+
+// layerNames lists a grid's layer names for error messages.
+func layerNames(g *sweep.Grid) string {
+	names := make([]string, len(g.Layers))
+	for i := range g.Layers {
+		names[i] = g.Layers[i].Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+func testGrid() *sweep.Grid {
+	g := sweep.NewGrid("t", "poshare", "nu", []float64{0.1, 0.2, 0.3}, []float64{1, 2}, []string{"phi", "share/a"})
+	for r := range g.Ys {
+		for c := range g.Xs {
+			g.Layers[0].Z[r][c] = float64(r*3 + c)
+		}
+	}
+	return g
+}
+
+func TestHeatmapLayout(t *testing.T) {
+	out := Heatmap(testGrid(), "phi")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "t — phi") {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.Contains(out, "nu\\poshare") {
+		t.Fatalf("axis corner label missing:\n%s", out)
+	}
+	// Largest ν on top: the row labeled 2 precedes the row labeled 1
+	// (labels are right-aligned against the axis bar).
+	i2, i1 := strings.Index(out, " 2 |"), strings.Index(out, " 1 |")
+	if i2 == -1 || i1 == -1 || i2 > i1 {
+		t.Fatalf("rows not ordered largest-on-top:\n%s", out)
+	}
+	// The maximum cell (row ν=2, col 2, value 5) renders the hottest symbol,
+	// the minimum (0) the coldest (blank).
+	if !strings.Contains(out, "@@") {
+		t.Fatalf("max cell not rendered hot:\n%s", out)
+	}
+	if !strings.Contains(out, "scale 0 ") || !strings.Contains(out, " 5") {
+		t.Fatalf("scale legend missing range:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1") || !strings.Contains(out, "0.3") {
+		t.Fatalf("x range labels missing:\n%s", out)
+	}
+}
+
+func TestHeatmapDefaultAndUnknownLayer(t *testing.T) {
+	g := testGrid()
+	if def, first := Heatmap(g, ""), Heatmap(g, "phi"); def != first {
+		t.Fatal("empty layer name does not select the first layer")
+	}
+	out := Heatmap(g, "nope")
+	if !strings.Contains(out, `"nope"`) || !strings.Contains(out, "share/a") {
+		t.Fatalf("unknown layer message unhelpful: %q", out)
+	}
+}
+
+func TestHeatmapDegenerateInputs(t *testing.T) {
+	empty := sweep.NewGrid("t", "x", "y", nil, nil, nil)
+	if out := Heatmap(empty, ""); !strings.Contains(out, "no data") {
+		t.Fatalf("empty grid: %q", out)
+	}
+	g := sweep.NewGrid("t", "x", "y", []float64{1}, []float64{2}, []string{"phi"})
+	g.Layers[0].Z[0][0] = math.NaN()
+	if out := Heatmap(g, "phi"); !strings.Contains(out, "no finite data") {
+		t.Fatalf("all-NaN layer: %q", out)
+	}
+	// Constant layers must not divide by zero.
+	g.Layers[0].Z[0][0] = 7
+	if out := Heatmap(g, "phi"); !strings.Contains(out, "scale 7") {
+		t.Fatalf("constant layer: %q", out)
+	}
+	// A NaN cell among finite ones renders as '?'.
+	g2 := sweep.NewGrid("t", "x", "y", []float64{1, 2}, []float64{3}, []string{"phi"})
+	g2.Layers[0].Z[0][0] = 1
+	g2.Layers[0].Z[0][1] = math.NaN()
+	if out := Heatmap(g2, "phi"); !strings.Contains(out, "??") {
+		t.Fatalf("NaN cell not marked: %q", out)
+	}
+}

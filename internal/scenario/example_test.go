@@ -54,6 +54,47 @@ func ExampleLoad() {
 	// scenario "broken": capacity sweep contains non-positive ν=0
 }
 
+// Declaring a "grid" row axis inside the sweep turns a 1-D scenario into a
+// 2-D grid: every (column, row) pair becomes one cell, solved by RunGrid on
+// a work-stealing row runner, and the result is a sweep.Grid with one layer
+// per metric. Here a fully neutral duopoly makes the surplus analytic: both
+// ISPs play (0,0), so the migration equilibrium is homogeneous (Lemma 4)
+// and Φ depends only on ν — each grid row is constant, equal to the 1-D
+// neutral values (2/3 water level at ν=1; unconstrained at ν=4).
+func ExampleScenario_RunGrid() {
+	s, err := scenario.LoadString(`{
+		"name": "grid-demo", "title": "neutral duopoly over gamma and nu",
+		"population": {"kind": "explicit", "cps": [
+			{"name": "wide", "alpha": 1, "theta_hat": 2, "v": 0.5, "phi": 1,
+			 "demand": {"family": "constant"}},
+			{"name": "fat", "alpha": 0.5, "theta_hat": 4, "v": 0.5, "phi": 0.5,
+			 "demand": {"family": "constant"}}
+		]},
+		"providers": [
+			{"name": "neutral-a", "gamma": 0.75},
+			{"name": "po", "gamma": 0.25, "public_option": true}
+		],
+		"sweep": {"axis": "poshare", "values": [0.25, 0.5],
+		          "grid": {"axis": "nu", "values": [1, 4]}}
+	}`)
+	if err != nil {
+		panic(err)
+	}
+	grid, err := s.RunGrid(scenario.RunOptions{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := grid.WriteCSV(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// layer,poshare,nu,value
+	// phi,0.25,1,0.8333333333
+	// phi,0.5,1,0.8333333333
+	// phi,0.25,4,3
+	// phi,0.5,4,3
+}
+
 // Run compiles a scenario into parallel solver sweeps and returns standard
 // sweep tables; WriteCSV emits the long-form series,x,y schema every
 // figure reproduction uses. Constant demand makes this output analytic:

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGridScenario is a representative mid-size grid: a 200-CP random
+// ensemble under incumbent-vs-Public-Option entry, γ (6 columns) × ν
+// (4 rows) = 24 cells. Small enough for CI, large enough that the row
+// runner's warm starts and work stealing dominate setup cost.
+func benchGridScenario() *Scenario {
+	return &Scenario{
+		Name:       "bench-grid",
+		Title:      "bench grid",
+		Population: PopulationSpec{Kind: "ensemble", N: 200, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.4},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisPOShare, Lo: 0.1, Hi: 0.5, Points: 6, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+			Grid:    &GridSpec{Axis: AxisNu, Values: []float64{0.2, 0.35, 0.5, 0.65}},
+		},
+	}
+}
+
+// BenchmarkGridRun times the full 2-D grid pipeline — compile, materialize,
+// work-stealing row runner, layer assembly — per worker count. CI extracts
+// this into BENCH_grid.json so the grid runner's perf trajectory is
+// recorded across PRs.
+func BenchmarkGridRun(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchGridScenario()
+			cells := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := s.RunGrid(RunOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = g.Cells()
+			}
+			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}
+
+// BenchmarkGridCellSolve times one warm cell solve in isolation — the unit
+// the batch endpoint pays per cache miss.
+func BenchmarkGridCellSolve(b *testing.B) {
+	job, err := benchGridScenario().CompileGrid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := job.NewWorker()
+	w.SolveCell(0, 0) // prime the warm partitions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.SolveCell(0, i%len(job.Xs))
+	}
+}

@@ -8,8 +8,10 @@ import (
 
 // The built-in registry: one named scenario per figure regime of
 // internal/experiment plus market structures from the related literature —
-// public-option entry under consumer rebates, asymmetric duopoly, and a
-// large-N oligopoly over a batched 10⁵-CP ensemble.
+// public-option entry under consumer rebates, asymmetric duopoly, a
+// large-N oligopoly over a batched 10⁵-CP ensemble, and 2-D grid scenarios
+// (γ×ν sizing, σ×ν rebates, c×κ strategy maps) for the region-shaped
+// questions the welfare literature studies.
 //
 // Built-ins declare capacity as fractions of the population's saturation
 // Σ α_i·θ̂_i (OfSaturation) wherever the population is random, so editing the
@@ -202,6 +204,66 @@ var builtins = []*Scenario{
 		},
 	},
 	{
+		Name:  "po-sizing-gamma-nu",
+		Title: "Public Option sizing: consumer surplus over γ×ν",
+		Description: "The paper's central sizing question made two-dimensional: how much " +
+			"Public Option capacity share γ disciplines a (κ=1, c=0.4) incumbent, and how " +
+			"does the answer move with per-capita capacity ν? Each row is exactly the 1-D " +
+			"public-option-sizing sweep at that row's ν; the γ threshold where surplus " +
+			"recovers shifts left as capacity scarcity bites harder.",
+		Reference:  "Ma & Misra §VI; extends public-option-sizing; Chaturvedi et al., regime maps over 2-D parameter regions",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.4},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisPOShare, Lo: 0.05, Hi: 0.5, Points: 10, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+			Grid:    &GridSpec{Axis: AxisNu, Values: []float64{0.2, 0.3, 0.4, 0.6}},
+		},
+	},
+	{
+		Name:  "po-rebate-sigma-nu",
+		Title: "Rebating incumbent vs Public Option: surplus over σ×ν",
+		Description: "The §VI caveat as a 2-D map: an incumbent (κ=1, c=0.5) rebates a " +
+			"fraction σ of premium revenue to subscribers while per-capita capacity ν " +
+			"varies. Shows where rebates buy back enough share to blunt the Public " +
+			"Option's discipline — the profitability region the related non-neutrality " +
+			"literature characterizes.",
+		Reference:  "Ma & Misra §VI; Lotfi et al., non-neutrality profitability regions",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.5},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisSigma, Lo: 0, Hi: 1, Points: 6, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+			Grid:    &GridSpec{Axis: AxisNu, Values: []float64{0.25, 0.4, 0.6}},
+		},
+	},
+	{
+		Name:  "duopoly-price-kappa",
+		Title: "Incumbent strategy map vs a Public Option: revenue over c×κ",
+		Description: "The incumbent's full strategy space (premium price c × premium " +
+			"capacity fraction κ) against an equal-capacity Public Option at fixed ν. " +
+			"The revenue layer maps where differentiation pays at all; the share layer " +
+			"shows consumers defecting as either lever overreaches (Theorem 5's " +
+			"discipline, cell by cell).",
+		Reference:  "Ma & Misra §IV-A, Figures 7-8, Theorem 5",
+		Population: PopulationSpec{Kind: "paper"},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.5},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisPrice, Lo: 0, Hi: 1, Points: 9, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi, MetricShare},
+			Grid:    &GridSpec{Axis: AxisKappa, Lo: 0.25, Hi: 1, Points: 4},
+		},
+	},
+	{
 		Name:  "regimes-comparison",
 		Title: "Consumer surplus by regulatory regime vs capacity",
 		Description: "The headline comparison: unregulated monopoly, κ-cap, price-cap, " +
@@ -237,6 +299,18 @@ func Names() []string {
 	out := make([]string, len(builtins))
 	for i, s := range builtins {
 		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GridNames returns the names of the built-in 2-D grid scenarios, sorted.
+func GridNames() []string {
+	var out []string
+	for _, s := range builtins {
+		if s.IsGrid() {
+			out = append(out, s.Name)
+		}
 	}
 	sort.Strings(out)
 	return out

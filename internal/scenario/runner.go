@@ -39,9 +39,13 @@ func bestResponseGrid() core.StrategyGrid {
 // Run validates the scenario, compiles it into warm-started solver tasks,
 // executes them via sweep.RunParallel, and returns one table per metric.
 // Tables carry the scenario title and serialize with sweep.Table.WriteCSV.
+// Grid scenarios (Sweep.Grid set) are 2-D and solve with RunGrid instead.
 func (s *Scenario) Run(opt RunOptions) ([]*sweep.Table, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.IsGrid() {
+		return nil, fmt.Errorf("scenario %q: declares a 2-D grid sweep (%s); solve it with RunGrid", s.Name, s.axisList())
 	}
 	if s.Regulation != nil {
 		return s.runRegimes(opt)
@@ -143,7 +147,7 @@ func (s *Scenario) runMarket(opt RunOptions) ([]*sweep.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	grid := s.Sweep.Grid()
+	grid := s.Sweep.XValues()
 	fixedNu := s.Sweep.Nu
 	if s.Sweep.Axis == AxisNu {
 		grid = s.resolveNu(grid, pop.TotalUnconstrainedPerCapita())
@@ -184,8 +188,22 @@ func (s *Scenario) runMarket(opt RunOptions) ([]*sweep.Table, error) {
 	return s.metricTables(grid, pts, curves), nil
 }
 
+// axisValue is one swept-axis assignment of a sweep point or grid cell.
+type axisValue struct {
+	axis  string
+	value float64
+}
+
 // solvePoint solves the declared market at one axis position x.
 func (s *Scenario) solvePoint(mk *core.Market, x float64) point {
+	return s.solveAt(mk, []axisValue{{s.Sweep.Axis, x}})
+}
+
+// solveAt solves the declared market with every listed axis assignment
+// applied. The "nu" axis is positional, not strategic — callers encode it
+// in mk.NuBar before the call, so it is skipped here. 1-D sweeps pass one
+// assignment; grid cells pass both of theirs.
+func (s *Scenario) solveAt(mk *core.Market, axes []axisValue) point {
 	isps := make([]core.ISP, len(s.Providers))
 	for i, p := range s.Providers {
 		st := core.Strategy{Kappa: p.Kappa, C: p.C}
@@ -194,19 +212,23 @@ func (s *Scenario) solvePoint(mk *core.Market, x float64) point {
 		}
 		isps[i] = core.ISP{Name: p.Name, Gamma: p.Gamma, Strategy: st}
 	}
-	switch s.Sweep.Axis {
-	case AxisPrice:
-		isps[0].Strategy.C = x
-	case AxisKappa:
-		isps[0].Strategy.Kappa = x
-	case AxisPOShare:
-		isps[1].Gamma = x
-		isps[0].Gamma = 1 - x
-	case AxisSigma:
-		return subsidizedPoint(mk, isps, s.Providers, x)
+	sigma0 := s.Providers[0].Sigma
+	subsidized := sigma0 > 0 || (len(s.Providers) > 1 && s.Providers[1].Sigma > 0)
+	for _, av := range axes {
+		switch av.axis {
+		case AxisPrice:
+			isps[0].Strategy.C = av.value
+		case AxisKappa:
+			isps[0].Strategy.Kappa = av.value
+		case AxisPOShare:
+			isps[1].Gamma = av.value
+			isps[0].Gamma = 1 - av.value
+		case AxisSigma:
+			sigma0 = av.value
+			subsidized = true
+		}
 	}
-	if s.Providers[0].Sigma > 0 || (len(s.Providers) > 1 && s.Providers[1].Sigma > 0) {
-		sigma0 := s.Providers[0].Sigma
+	if subsidized {
 		return subsidizedPoint(mk, isps, s.Providers, sigma0)
 	}
 
@@ -282,7 +304,7 @@ func (s *Scenario) runRegimes(opt RunOptions) ([]*sweep.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	grid := s.resolveNu(s.Sweep.Grid(), pop.TotalUnconstrainedPerCapita())
+	grid := s.resolveNu(s.Sweep.XValues(), pop.TotalUnconstrainedPerCapita())
 	regimes := s.Regulation.Regimes
 	if len(regimes) == 0 {
 		regimes = allRegimes
@@ -394,7 +416,7 @@ func regimeCurve(regime string, nus []float64, pop traffic.Population, rc Regula
 
 func (s *Scenario) runBatched(opt RunOptions) ([]*sweep.Table, error) {
 	bp := newBatchedPop(s.Population.ensembleConfig(), s.Population.seed(), s.Population.Batch)
-	grid := s.resolveNu(s.Sweep.Grid(), bp.saturation)
+	grid := s.resolveNu(s.Sweep.XValues(), bp.saturation)
 
 	// With every provider neutral the migration game is Lemma 4's
 	// homogeneous equilibrium: shares equal capacity shares and every ISP's

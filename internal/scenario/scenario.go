@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"github.com/netecon-sim/publicoption/internal/demand"
@@ -193,38 +194,75 @@ const (
 	MetricUtilization = "utilization" // link utilization per provider
 )
 
-// SweepSpec declares the x-axis, its grid, and the metrics to record.
+// SweepSpec declares the x-axis, its value grid, the metrics to record,
+// and — optionally — a second swept axis (Grid) that turns the 1-D sweep
+// into a 2-D grid of cells.
 type SweepSpec struct {
-	// Axis is one of the Axis* constants.
+	// Axis is one of the Axis* constants. In a 2-D grid it is the column
+	// axis — the axis cells warm-start along.
 	Axis string `json:"axis"`
 	// Lo, Hi, Points define an evenly spaced grid; Values overrides it with
-	// an explicit grid.
+	// an explicit grid. All values must be finite.
 	Lo     float64   `json:"lo,omitempty"`
 	Hi     float64   `json:"hi,omitempty"`
 	Points int       `json:"points,omitempty"`
 	Values []float64 `json:"values,omitempty"`
-	// OfSaturation scales ν values (the grid for Axis "nu", or Nu below
-	// otherwise) by the population's saturation capacity Σ α_i·θ̂_i, making
-	// capacity declarations portable across populations.
+	// OfSaturation scales every ν quantity in the sweep — the value grid of
+	// a "nu" axis (column or row) and the fixed Nu below — by the
+	// population's saturation capacity Σ α_i·θ̂_i, making capacity
+	// declarations portable across populations.
 	OfSaturation bool `json:"of_saturation,omitempty"`
-	// Nu is the fixed per-capita capacity for non-"nu" axes.
+	// Nu is the fixed per-capita capacity ν, required when no swept axis is
+	// "nu" and ignored otherwise.
 	Nu float64 `json:"nu,omitempty"`
 	// Metrics lists what to record; empty means just "phi".
 	Metrics []string `json:"metrics,omitempty"`
+	// Grid, when set, adds a row axis: the scenario is solved at every
+	// (column, row) cell pair and the result is a 2-D grid (sweep.Grid)
+	// instead of 1-D tables. Run rejects grid scenarios — use RunGrid.
+	Grid *GridSpec `json:"grid,omitempty"`
 }
 
-// Grid returns the sweep's x values (a fresh slice).
-func (s SweepSpec) Grid() []float64 {
-	if len(s.Values) > 0 {
-		return append([]float64(nil), s.Values...)
+// GridSpec declares the second (row) axis of a 2-D grid sweep: any Axis*
+// constant distinct from the primary sweep axis, with its own value grid.
+// The canonical sizing question — how large must the Public Option be to
+// discipline the incumbent — is a γ×ν grid: Axis "poshare" columns against
+// a GridSpec of "nu" rows.
+type GridSpec struct {
+	// Axis is one of the Axis* constants, distinct from the sweep's Axis.
+	Axis string `json:"axis"`
+	// Lo, Hi, Points define an evenly spaced row grid; Values overrides it
+	// with an explicit grid. All values must be finite. A "nu" row axis
+	// inherits the sweep's OfSaturation scaling.
+	Lo     float64   `json:"lo,omitempty"`
+	Hi     float64   `json:"hi,omitempty"`
+	Points int       `json:"points,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// axisValues materializes an evenly spaced or explicit value grid; explicit
+// values win over Lo/Hi/Points.
+func axisValues(lo, hi float64, points int, values []float64) []float64 {
+	if len(values) > 0 {
+		return append([]float64(nil), values...)
 	}
-	if s.Points <= 0 {
+	if points <= 0 {
 		return nil
 	}
-	if s.Points == 1 {
-		return []float64{s.Lo}
+	if points == 1 {
+		return []float64{lo}
 	}
-	return numeric.Linspace(s.Lo, s.Hi, s.Points)
+	return numeric.Linspace(lo, hi, points)
+}
+
+// XValues returns the sweep's column-axis values (a fresh slice).
+func (s SweepSpec) XValues() []float64 {
+	return axisValues(s.Lo, s.Hi, s.Points, s.Values)
+}
+
+// RowValues returns the row-axis values (a fresh slice).
+func (g GridSpec) RowValues() []float64 {
+	return axisValues(g.Lo, g.Hi, g.Points, g.Values)
 }
 
 func (s SweepSpec) metrics() []string {
@@ -272,6 +310,9 @@ func (s *Scenario) Validate() error {
 		}
 		if s.Sweep.Axis != AxisNu {
 			return fmt.Errorf("scenario %q: regulation comparisons sweep capacity; axis must be %q, got %q", s.Name, AxisNu, s.Sweep.Axis)
+		}
+		if s.Sweep.Grid != nil {
+			return fmt.Errorf("scenario %q: regulation comparisons do not support grid sweeps (each regime re-optimizes per ν)", s.Name)
 		}
 		if s.Population.Batch > 0 {
 			return fmt.Errorf("scenario %q: regulation comparisons do not support batched populations", s.Name)
@@ -333,12 +374,12 @@ func (s *Scenario) validateProviders() error {
 			rebates = true
 		}
 	}
-	if (rebates || s.Sweep.Axis == AxisSigma) && (len(s.Providers) != 2 || responders > 0) {
+	if (rebates || s.sweepsAxis(AxisSigma)) && (len(s.Providers) != 2 || responders > 0) {
 		return fmt.Errorf("scenario %q: revenue rebates need exactly two fixed-strategy providers", s.Name)
 	}
 	if s.Population.Batch > 0 {
-		if s.Sweep.Axis != AxisNu {
-			return fmt.Errorf("scenario %q: batched populations sweep capacity only (axis %q)", s.Name, s.Sweep.Axis)
+		if s.Sweep.Axis != AxisNu || s.Sweep.Grid != nil {
+			return fmt.Errorf("scenario %q: batched populations sweep capacity only (axes %s)", s.Name, s.axisList())
 		}
 		for _, p := range s.Providers {
 			if !p.PublicOption && !(p.Kappa == 0 || p.C == 0) {
@@ -349,37 +390,56 @@ func (s *Scenario) validateProviders() error {
 			}
 		}
 	}
-	switch s.Sweep.Axis {
-	case AxisPrice, AxisKappa:
-		if s.Providers[0].PublicOption {
-			return fmt.Errorf("scenario %q: axis %q sweeps the first provider's strategy, but it is the Public Option", s.Name, s.Sweep.Axis)
-		}
-		if s.Providers[0].BestResponse {
-			return fmt.Errorf("scenario %q: axis %q sweeps the first provider's strategy, but it best-responds (the search would overwrite every sweep point)", s.Name, s.Sweep.Axis)
-		}
-	case AxisSigma:
-		if len(s.Providers) != 2 {
-			return fmt.Errorf("scenario %q: axis %q needs exactly two providers, got %d", s.Name, AxisSigma, len(s.Providers))
-		}
-	case AxisPOShare:
-		if len(s.Providers) != 2 || !s.Providers[1].PublicOption {
-			return fmt.Errorf("scenario %q: axis %q needs exactly two providers with the second a Public Option", s.Name, AxisPOShare)
+	// Axis-specific market-shape constraints apply to every swept axis: the
+	// column axis and, for grid scenarios, the row axis.
+	axes := []string{s.Sweep.Axis}
+	if s.Sweep.Grid != nil {
+		axes = append(axes, s.Sweep.Grid.Axis)
+	}
+	for _, axis := range axes {
+		switch axis {
+		case AxisPrice, AxisKappa:
+			if s.Providers[0].PublicOption {
+				return fmt.Errorf("scenario %q: axis %q sweeps the first provider's strategy, but it is the Public Option", s.Name, axis)
+			}
+			if s.Providers[0].BestResponse {
+				return fmt.Errorf("scenario %q: axis %q sweeps the first provider's strategy, but it best-responds (the search would overwrite every sweep point)", s.Name, axis)
+			}
+		case AxisSigma:
+			if len(s.Providers) != 2 {
+				return fmt.Errorf("scenario %q: axis %q needs exactly two providers, got %d", s.Name, AxisSigma, len(s.Providers))
+			}
+		case AxisPOShare:
+			if len(s.Providers) != 2 || !s.Providers[1].PublicOption {
+				return fmt.Errorf("scenario %q: axis %q needs exactly two providers with the second a Public Option", s.Name, AxisPOShare)
+			}
 		}
 	}
 	return nil
 }
+
+// IsGrid reports whether the scenario declares a 2-D grid sweep (solve with
+// RunGrid) rather than a 1-D sweep (solve with Run).
+func (s *Scenario) IsGrid() bool { return s.Sweep.Grid != nil }
 
 func (s *Scenario) validateSweep() error {
 	sw := s.Sweep
 	if !validAxes[sw.Axis] {
 		return fmt.Errorf("unknown sweep axis %q", sw.Axis)
 	}
-	grid := sw.Grid()
-	if len(grid) == 0 {
-		return fmt.Errorf("empty sweep grid (set points >= 1 or explicit values)")
+	if err := validateAxisGrid(sw.Axis, sw.Lo, sw.Hi, sw.Points, sw.Values); err != nil {
+		return err
 	}
-	if len(sw.Values) == 0 && sw.Points >= 2 && !(sw.Hi > sw.Lo) {
-		return fmt.Errorf("sweep needs hi > lo, got [%g, %g]", sw.Lo, sw.Hi)
+	if sw.Grid != nil {
+		if !validAxes[sw.Grid.Axis] {
+			return fmt.Errorf("unknown grid row axis %q", sw.Grid.Axis)
+		}
+		if sw.Grid.Axis == sw.Axis {
+			return fmt.Errorf("grid row axis %q duplicates the sweep axis (a grid needs two distinct axes)", sw.Grid.Axis)
+		}
+		if err := validateAxisGrid(sw.Grid.Axis, sw.Grid.Lo, sw.Grid.Hi, sw.Grid.Points, sw.Grid.Values); err != nil {
+			return fmt.Errorf("grid row axis: %w", err)
+		}
 	}
 	seenMetric := make(map[string]bool, len(sw.Metrics))
 	for _, m := range sw.metrics() {
@@ -391,43 +451,86 @@ func (s *Scenario) validateSweep() error {
 		}
 		seenMetric[m] = true
 	}
-	// Capacity must be strictly positive everywhere: a zero-capacity market
-	// has no equilibrium worth tabulating, and a zero fixed ν on a strategy
-	// axis is almost always a forgotten field.
-	if sw.Axis == AxisNu {
+	// A fixed per-capita capacity ν is needed exactly when no swept axis
+	// supplies it; a zero Nu there is almost always a forgotten field.
+	if !s.sweepsAxis(AxisNu) {
+		if !(sw.Nu > 0) || math.IsInf(sw.Nu, 0) {
+			return fmt.Errorf("axes %s need a finite, positive fixed capacity sweep.nu, got %g", s.axisList(), sw.Nu)
+		}
+	}
+	return nil
+}
+
+// sweepsAxis reports whether axis is swept — as the column axis or, for
+// grid scenarios, the row axis.
+func (s *Scenario) sweepsAxis(axis string) bool {
+	if s.Sweep.Axis == axis {
+		return true
+	}
+	return s.Sweep.Grid != nil && s.Sweep.Grid.Axis == axis
+}
+
+// axisList renders the swept axes for error messages: `"price"` or
+// `"price"×"kappa"` for grids.
+func (s *Scenario) axisList() string {
+	if s.Sweep.Grid == nil {
+		return fmt.Sprintf("%q", s.Sweep.Axis)
+	}
+	return fmt.Sprintf("%q×%q", s.Sweep.Axis, s.Sweep.Grid.Axis)
+}
+
+// validateAxisGrid vets one swept axis' value grid: non-empty, finite,
+// ordered bounds, and values inside the axis' model domain (ν > 0,
+// γ ∈ (0,1), σ and κ ∈ [0,1], c ≥ 0).
+func validateAxisGrid(axis string, lo, hi float64, points int, values []float64) error {
+	for _, v := range []float64{lo, hi} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("axis %q has non-finite bound %g", axis, v)
+		}
+	}
+	grid := axisValues(lo, hi, points, values)
+	if len(grid) == 0 {
+		return fmt.Errorf("empty sweep grid for axis %q (set points >= 1 or explicit values)", axis)
+	}
+	if len(values) == 0 && points >= 2 && !(hi > lo) {
+		return fmt.Errorf("axis %q needs hi > lo, got [%g, %g]", axis, lo, hi)
+	}
+	for _, v := range grid {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("axis %q contains non-finite value %g", axis, v)
+		}
+	}
+	switch axis {
+	case AxisNu:
+		// Capacity must be strictly positive everywhere: a zero-capacity
+		// market has no equilibrium worth tabulating.
 		for _, v := range grid {
 			if !(v > 0) {
 				return fmt.Errorf("capacity sweep contains non-positive ν=%g", v)
 			}
 		}
-	} else {
-		if !(sw.Nu > 0) {
-			return fmt.Errorf("axis %q needs a positive fixed capacity sweep.nu, got %g", sw.Axis, sw.Nu)
+	case AxisPOShare:
+		for _, v := range grid {
+			if !(v > 0 && v < 1) {
+				return fmt.Errorf("Public Option share sweep value %g outside (0,1)", v)
+			}
 		}
-		switch sw.Axis {
-		case AxisPOShare:
-			for _, v := range grid {
-				if !(v > 0 && v < 1) {
-					return fmt.Errorf("Public Option share sweep value %g outside (0,1)", v)
-				}
+	case AxisSigma:
+		for _, v := range grid {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("rebate sweep value %g outside [0,1]", v)
 			}
-		case AxisSigma:
-			for _, v := range grid {
-				if v < 0 || v > 1 {
-					return fmt.Errorf("rebate sweep value %g outside [0,1]", v)
-				}
+		}
+	case AxisKappa:
+		for _, v := range grid {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("κ sweep value %g outside [0,1]", v)
 			}
-		case AxisKappa:
-			for _, v := range grid {
-				if v < 0 || v > 1 {
-					return fmt.Errorf("κ sweep value %g outside [0,1]", v)
-				}
-			}
-		case AxisPrice:
-			for _, v := range grid {
-				if v < 0 {
-					return fmt.Errorf("price sweep value %g negative", v)
-				}
+		}
+	case AxisPrice:
+		for _, v := range grid {
+			if v < 0 {
+				return fmt.Errorf("price sweep value %g negative", v)
 			}
 		}
 	}

@@ -1,0 +1,465 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/netecon-sim/publicoption/internal/cache"
+	"github.com/netecon-sim/publicoption/internal/scenario"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// POST /v1/batch — the streaming batch runner. One request solves either a
+// list of named/inline scenarios or one 2-D grid scenario, and the response
+// is NDJSON (application/x-ndjson): one frame per result, written and
+// flushed as each completes, so a client watching a 30-minute grid sees
+// cells arrive instead of a silent connection.
+//
+// Grid requests are cached cell-by-cell: every cell's content address
+// (scenario.CellSpec — population, providers, axes, resolved coordinates,
+// metrics; nothing cosmetic) is probed first, hits stream immediately, and
+// only the missing cells are solved — grouped by row so the warm-started
+// column sweep survives the cache holes. Re-running a grid after a small
+// edit therefore re-solves only the cells whose physics changed, and
+// re-running it unchanged solves zero.
+//
+// See docs/SERVICE.md for the full frame-by-frame contract.
+
+// maxBatchScenarios bounds the scenario-list mode; a larger batch is better
+// expressed as several requests (the cache makes re-submission free).
+const maxBatchScenarios = 100
+
+// batchRequest is the body of POST /v1/batch. Exactly one mode must be
+// set: Scenarios (list mode) or Grid/GridJSON (grid mode).
+type batchRequest struct {
+	// Scenarios lists what to run: each element is either a JSON string
+	// (a registered scenario name) or a JSON object (an inline scenario
+	// definition, the docs/SCENARIOS.md schema).
+	Scenarios []json.RawMessage `json:"scenarios,omitempty"`
+	// Grid names a registered 2-D grid scenario; GridJSON inlines one.
+	Grid     string          `json:"grid,omitempty"`
+	GridJSON json.RawMessage `json:"grid_json,omitempty"`
+	// Workers overrides the solve's internal parallelism. Execution-only:
+	// it does not participate in any cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// scenarioFrame is one completed scenario in list mode.
+type scenarioFrame struct {
+	Index int `json:"index"`
+	RunResponse
+}
+
+// errorFrame reports one failed unit without tearing down the stream:
+// list-mode scenario failures carry their index and the stream continues;
+// grid-mode failures are terminal (the final done frame never arrives).
+type errorFrame struct {
+	Index *int   `json:"index,omitempty"`
+	Error string `json:"error"`
+}
+
+// gridHeaderFrame opens a grid-mode stream with the resolved geometry, so
+// clients can allocate before any cell arrives.
+type gridHeaderFrame struct {
+	Grid gridInfo `json:"grid"`
+}
+
+type gridInfo struct {
+	Name   string    `json:"name"`
+	Title  string    `json:"title"`
+	XAxis  string    `json:"x_axis"`
+	YAxis  string    `json:"y_axis"`
+	Xs     []float64 `json:"xs"`
+	Ys     []float64 `json:"ys"`
+	Layers []string  `json:"layers"`
+	Cells  int       `json:"cells"`
+}
+
+// cellFrame is one solved or cache-served grid cell.
+type cellFrame struct {
+	Cell  scenario.Cell `json:"cell"`
+	Cache string        `json:"cache"` // "hit" or "miss"
+}
+
+// listDoneFrame closes a list-mode stream.
+type listDoneFrame struct {
+	Done      bool    `json:"done"`
+	Results   int     `json:"results"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// gridDoneFrame closes a grid-mode stream. Solved is 0 on a fully warm
+// re-run — the number CI asserts on.
+type gridDoneFrame struct {
+	Done      bool    `json:"done"`
+	Cells     int     `json:"cells"`
+	Solved    int     `json:"solved"`
+	CacheHits int     `json:"cache_hits"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ndjsonWriter serializes frames to the response, one JSON object per
+// line, flushing after every frame so results stream instead of buffering.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	flusher, _ := w.(http.Flusher)
+	return &ndjsonWriter{w: w, flusher: flusher}
+}
+
+// frame writes one NDJSON frame. The first frame commits the 200 status
+// and the x-ndjson content type; errors after that point must travel as
+// error frames, not status codes.
+func (nw *ndjsonWriter) frame(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serializing frame: %w", err)
+	}
+	if !nw.started {
+		nw.w.Header().Set("Content-Type", "application/x-ndjson")
+		nw.w.WriteHeader(http.StatusOK)
+		nw.started = true
+	}
+	if _, err := nw.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if nw.flusher != nil {
+		nw.flusher.Flush()
+	}
+	return nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeJSONBody(w, r, &req, false); err != nil {
+		writeError(w, bodyErrorStatus(err), "%v", err)
+		return
+	}
+	listMode := len(req.Scenarios) > 0
+	gridMode := req.Grid != "" || len(req.GridJSON) > 0
+	if listMode == gridMode {
+		writeError(w, http.StatusBadRequest, "give exactly one of \"scenarios\" (a list of names or inline definitions) or \"grid\"/\"grid_json\" (one 2-D grid scenario)")
+		return
+	}
+	if req.Grid != "" && len(req.GridJSON) > 0 {
+		writeError(w, http.StatusBadRequest, "give only one of \"grid\" (a registered name) or \"grid_json\" (an inline definition)")
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.solveWorkers
+	}
+	if listMode {
+		s.batchScenarios(w, r, req.Scenarios, workers)
+		return
+	}
+	s.batchGrid(w, r, &req, workers)
+}
+
+// ---------------------------------------------------------------------------
+// List mode.
+
+// batchScenarios solves each listed scenario through the same cache path as
+// POST /v1/runs, streaming one frame per completion in request order. A bad
+// element (unknown name, invalid inline definition, failed solve) becomes
+// an error frame carrying its index; the rest of the batch continues.
+func (s *Server) batchScenarios(w http.ResponseWriter, r *http.Request, list []json.RawMessage, workers int) {
+	if len(list) > maxBatchScenarios {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch lists at most %d scenarios, got %d", maxBatchScenarios, len(list))
+		return
+	}
+	nw := newNDJSONWriter(w)
+	start := time.Now()
+	results, errs := 0, 0
+	for i := range list {
+		if r.Context().Err() != nil {
+			return // client went away; stop solving
+		}
+		i := i
+		frame := s.solveBatchEntry(i, list[i], workers)
+		if ef, isErr := frame.(*errorFrame); isErr {
+			errs++
+			s.log.Printf("batch[%d]: %s", i, ef.Error)
+		} else {
+			results++
+		}
+		if err := nw.frame(frame); err != nil {
+			return // mid-stream write failure: the client is gone
+		}
+	}
+	nw.frame(&listDoneFrame{
+		Done: true, Results: results, Errors: errs,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// solveBatchEntry resolves one list element (name or inline definition) and
+// solves it through the cache, returning the frame to stream.
+func (s *Server) solveBatchEntry(index int, raw json.RawMessage, workers int) any {
+	errf := func(format string, args ...any) *errorFrame {
+		return &errorFrame{Index: &index, Error: fmt.Sprintf(format, args...)}
+	}
+	var key string
+	var getScenario func() (*scenario.Scenario, error)
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		k, ok := s.scenarioKeys[name]
+		if !ok {
+			return errf("unknown scenario %q", name)
+		}
+		key = k
+		getScenario = func() (*scenario.Scenario, error) {
+			sc, ok := scenario.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("scenario %q vanished from the registry", name)
+			}
+			return sc, nil
+		}
+	} else {
+		sc, err := scenario.Load(strings.NewReader(string(raw)))
+		if err != nil {
+			return errf("%v", err)
+		}
+		canon, err := sc.CanonicalJSON()
+		if err != nil {
+			return errf("serializing scenario: %v", err)
+		}
+		key, err = cache.Key("run/scenario/v1", json.RawMessage(canon))
+		if err != nil {
+			return errf("%v", err)
+		}
+		getScenario = func() (*scenario.Scenario, error) { return sc, nil }
+	}
+
+	reqStart := time.Now()
+	val, status, err := s.store.Do(key, func() (any, error) {
+		s.metrics.solveStarted()
+		defer s.metrics.solveFinished()
+		solveStart := time.Now()
+		sc, err := getScenario()
+		if err != nil {
+			return nil, err
+		}
+		if sc.IsGrid() {
+			return nil, fmt.Errorf("scenario %q is a 2-D grid; submit it via the \"grid\" field", sc.Name)
+		}
+		tables, err := s.runScenario(sc, workers)
+		s.metrics.observeSolve(time.Since(solveStart).Seconds())
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Kind: "scenario", Name: sc.Name, Title: sc.Title, Tables: tablesToWire(tables)}, nil
+	})
+	if err != nil {
+		return errf("solve failed: %v", err)
+	}
+	return &scenarioFrame{Index: index, RunResponse: RunResponse{
+		RunResult: *val.(*RunResult),
+		Cache:     status.String(),
+		ElapsedMS: float64(time.Since(reqStart).Microseconds()) / 1e3,
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Grid mode.
+
+// solvedCell pairs a solved cell with its cache key so the streaming loop
+// can insert it as it emits the frame.
+type solvedCell struct {
+	cell scenario.Cell
+	key  string
+}
+
+// batchGrid streams a grid scenario cell by cell: header frame, cached
+// cells first (they cost one map probe each), then solved cells in
+// completion order, then the summary. Solving distributes rows across
+// workers by work stealing with one warm-started solver per worker, and
+// only rows with at least one missing cell are visited.
+func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchRequest, workers int) {
+	sc, errStatus, err := s.resolveGridScenario(req)
+	if err != nil {
+		writeError(w, errStatus, "%v", err)
+		return
+	}
+	job, err := sc.CompileGrid()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Content-address every cell up front; the key layout is row-major.
+	keys := make([]string, job.Cells())
+	cols := len(job.Xs)
+	for row := 0; row < len(job.Ys); row++ {
+		for col := 0; col < cols; col++ {
+			k, err := cache.Key("batch/cell/v1", job.CellSpec(row, col))
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "hashing cell (%d,%d): %v", row, col, err)
+				return
+			}
+			keys[row*cols+col] = k
+		}
+	}
+
+	nw := newNDJSONWriter(w)
+	start := time.Now()
+	if err := nw.frame(&gridHeaderFrame{Grid: gridInfo{
+		Name: sc.Name, Title: sc.Title,
+		XAxis: job.XAxis, YAxis: job.YAxis,
+		Xs: job.Xs, Ys: job.Ys, Layers: job.Layers, Cells: job.Cells(),
+	}}); err != nil {
+		return
+	}
+
+	// Probe phase: stream hits immediately, collect misses per row.
+	hits := 0
+	missing := make(map[int][]int) // row -> missing columns, ascending
+	var missRows []int
+	for row := 0; row < len(job.Ys); row++ {
+		for col := 0; col < cols; col++ {
+			val, ok := s.store.Lookup(keys[row*cols+col])
+			if !ok {
+				if len(missing[row]) == 0 {
+					missRows = append(missRows, row)
+				}
+				missing[row] = append(missing[row], col)
+				continue
+			}
+			hits++
+			// The cached Cell carries the row/col of whichever grid solved
+			// it first; its content address covers only physics, so a
+			// resized or reordered grid can hit cells whose stored indices
+			// no longer match. Re-anchor to this request's geometry before
+			// streaming.
+			cell := val.(scenario.Cell)
+			cell.Row, cell.Col = row, col
+			if err := nw.frame(&cellFrame{Cell: cell, Cache: cache.Hit.String()}); err != nil {
+				return
+			}
+		}
+	}
+
+	// Solve phase: only rows with holes, warm-started along each row. The
+	// stopped flag aborts promptly when the client disconnects — workers
+	// poll it per cell, so at most one in-flight cell per worker completes
+	// after cancellation.
+	solved := 0
+	if len(missRows) > 0 {
+		if workers > len(missRows) {
+			workers = len(missRows)
+		}
+		var stopped atomic.Bool
+		cellCh := make(chan solvedCell, cols)
+		solveErr := make(chan error, 1)
+		go func() {
+			defer close(cellCh)
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case solveErr <- fmt.Errorf("grid solve panicked: %v", p):
+					default:
+					}
+				}
+			}()
+			// A grid solve occupies one worker-pool slot, like any pooled
+			// solve: its internal row parallelism plays the role of a
+			// solve's per-solve parallelism, so concurrent cold grids queue
+			// instead of oversubscribing the CPU.
+			release := s.store.Reserve()
+			defer release()
+			s.metrics.solveStarted()
+			defer s.metrics.solveFinished()
+			solveStart := time.Now()
+			state := make([]*scenario.GridWorker, workers)
+			sweep.RunRows(workers, len(missRows), func(worker, ri int) {
+				if state[worker] == nil {
+					state[worker] = job.NewWorker()
+				}
+				row := missRows[ri]
+				for _, col := range missing[row] {
+					if stopped.Load() {
+						return
+					}
+					cell := state[worker].SolveCell(row, col)
+					cellCh <- solvedCell{cell: cell, key: keys[row*cols+col]}
+				}
+			})
+			s.metrics.observeSolve(time.Since(solveStart).Seconds())
+		}()
+
+		ctx := r.Context()
+	stream:
+		for {
+			select {
+			case c, ok := <-cellCh:
+				if !ok {
+					break stream
+				}
+				s.store.Put(c.key, c.cell)
+				solved++
+				if err := nw.frame(&cellFrame{Cell: c.cell, Cache: cache.Miss.String()}); err != nil {
+					stopped.Store(true)
+				}
+			case <-ctx.Done():
+				stopped.Store(true)
+				// Drain so the workers can finish their in-flight cells and
+				// the goroutine exits; solved-but-unstreamed cells still
+				// enter the cache — the work is not wasted.
+				for c := range cellCh {
+					s.store.Put(c.key, c.cell)
+					solved++
+				}
+				break stream
+			}
+		}
+		select {
+		case err := <-solveErr:
+			s.log.Printf("batch grid %q: %v", sc.Name, err)
+			nw.frame(&errorFrame{Error: err.Error()})
+			return
+		default:
+		}
+		if r.Context().Err() != nil {
+			return // client gone: no summary frame
+		}
+	}
+
+	s.log.Printf("batch grid %q: %d cells, %d solved, %d cached, %.3fs",
+		sc.Name, job.Cells(), solved, hits, time.Since(start).Seconds())
+	nw.frame(&gridDoneFrame{
+		Done: true, Cells: job.Cells(), Solved: solved, CacheHits: hits,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// resolveGridScenario materializes the grid scenario of a batch request
+// from its name or inline JSON, enforcing that it actually declares a grid.
+func (s *Server) resolveGridScenario(req *batchRequest) (*scenario.Scenario, int, error) {
+	var sc *scenario.Scenario
+	if req.Grid != "" {
+		got, ok := s.scenarios[req.Grid]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown scenario %q", req.Grid)
+		}
+		sc = got
+	} else {
+		got, err := scenario.Load(strings.NewReader(string(req.GridJSON)))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		sc = got
+	}
+	if !sc.IsGrid() {
+		return nil, http.StatusBadRequest, fmt.Errorf("scenario %q declares a 1-D sweep; use \"scenarios\" for it or add a sweep.grid axis", sc.Name)
+	}
+	return sc, 0, nil
+}

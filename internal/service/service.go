@@ -14,7 +14,9 @@
 //
 //	GET  /v1/scenarios              list the named scenarios
 //	GET  /v1/scenarios/{name}       one scenario's full JSON definition
-//	POST /v1/runs                   solve a named or inline scenario
+//	POST /v1/runs                   solve a named or inline 1-D scenario
+//	POST /v1/batch                  stream a scenario list or a 2-D grid
+//	                                as NDJSON, grid cells cached per cell
 //	GET  /v1/experiments            list the registered figure experiments
 //	POST /v1/experiments/{id}/run   run a figure experiment
 //	GET  /healthz                   liveness probe
@@ -41,7 +43,12 @@ import (
 )
 
 // DefaultCacheEntries is the LRU bound used when Options.CacheEntries is 0.
-const DefaultCacheEntries = 256
+// Grid cells from /v1/batch occupy one entry each, so the bound is sized to
+// hold several built-in grids' worth of cells alongside full run results;
+// a deployment replaying grids larger than this should raise it to at
+// least the working set's cell count, or warm re-runs re-solve evicted
+// cells.
+const DefaultCacheEntries = 2048
 
 // maxRequestBody bounds run-request bodies (inline scenarios included);
 // 1 MiB comfortably fits any plausible explicit CP population.
@@ -122,7 +129,7 @@ func New(opts Options) *Server {
 		scenarioKeys: make(map[string]string),
 	}
 	for _, sc := range scenario.All() {
-		s.scenarioInfos = append(s.scenarioInfos, ScenarioInfo{Name: sc.Name, Title: sc.Title, Reference: sc.Reference})
+		s.scenarioInfos = append(s.scenarioInfos, ScenarioInfo{Name: sc.Name, Title: sc.Title, Reference: sc.Reference, Grid: sc.IsGrid()})
 		s.scenarios[sc.Name] = sc
 		canon, err := sc.CanonicalJSON()
 		if err != nil {
@@ -140,6 +147,7 @@ func New(opts Options) *Server {
 	s.handle("GET /v1/scenarios", s.handleListScenarios)
 	s.handle("GET /v1/scenarios/{name}", s.handleGetScenario)
 	s.handle("POST /v1/runs", s.handleRun)
+	s.handle("POST /v1/batch", s.handleBatch)
 	s.handle("GET /v1/experiments", s.handleListExperiments)
 	s.handle("POST /v1/experiments/{id}/run", s.handleExperimentRun)
 	s.handle("GET /healthz", s.handleHealthz)
@@ -184,6 +192,9 @@ type ScenarioInfo struct {
 	Name      string `json:"name"`
 	Title     string `json:"title"`
 	Reference string `json:"reference,omitempty"`
+	// Grid marks 2-D grid scenarios: they are solved via POST /v1/batch
+	// ({"grid": name}), and POST /v1/runs rejects them.
+	Grid bool `json:"grid,omitempty"`
 }
 
 // ExperimentInfo is one row of GET /v1/experiments.
@@ -298,6 +309,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "unknown scenario %q", req.Scenario)
 			return
 		}
+		if s.scenarios[req.Scenario].IsGrid() {
+			writeError(w, http.StatusBadRequest, "scenario %q is a 2-D grid; run it via POST /v1/batch with the \"grid\" field", req.Scenario)
+			return
+		}
 		getScenario = func() (*scenario.Scenario, error) {
 			sc, ok := scenario.Get(req.Scenario)
 			if !ok {
@@ -309,6 +324,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		sc, err := scenario.Load(strings.NewReader(string(req.ScenarioJSON)))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if sc.IsGrid() {
+			writeError(w, http.StatusBadRequest, "scenario %q is a 2-D grid; run it via POST /v1/batch with the \"grid_json\" field", sc.Name)
 			return
 		}
 		canon, err := sc.CanonicalJSON()

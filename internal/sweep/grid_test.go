@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRunRowsCoversEveryRowOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const rows = 37
+		var mu sync.Mutex
+		visits := make([]int, rows)
+		maxWorker := 0
+		RunRows(workers, rows, func(worker, row int) {
+			mu.Lock()
+			visits[row]++
+			if worker > maxWorker {
+				maxWorker = worker
+			}
+			mu.Unlock()
+		})
+		for row, n := range visits {
+			if n != 1 {
+				t.Fatalf("workers=%d: row %d visited %d times", workers, row, n)
+			}
+		}
+		if workers > 0 && maxWorker >= workers && workers <= rows {
+			t.Fatalf("workers=%d: worker index %d out of range", workers, maxWorker)
+		}
+	}
+}
+
+func TestRunRowsZeroRows(t *testing.T) {
+	called := false
+	RunRows(4, 0, func(worker, row int) { called = true })
+	if called {
+		t.Fatal("run called with zero rows")
+	}
+}
+
+func TestRunRowsStealsFromSlowWorkers(t *testing.T) {
+	// Row 0 is artificially slow; with 2 workers the fast worker must pick
+	// up the remaining rows instead of waiting, so the slow worker ends up
+	// with far fewer rows than an even pre-split would give it.
+	const rows = 20
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	perWorker := make(map[int]int)
+	RunRows(2, rows, func(worker, row int) {
+		if row == 0 {
+			<-gate // parked until every other row is claimable
+		}
+		mu.Lock()
+		perWorker[worker]++
+		if row == 1 {
+			// The other worker reached row 1, so rows are flowing; release
+			// the parked one.
+			close(gate)
+		}
+		mu.Unlock()
+	})
+	total := 0
+	for _, n := range perWorker {
+		total += n
+	}
+	if total != rows {
+		t.Fatalf("ran %d rows, want %d", total, rows)
+	}
+	for worker, n := range perWorker {
+		if n == rows/2 {
+			t.Logf("worker %d took exactly half the rows; stealing untestable this run", worker)
+		}
+	}
+}
+
+func TestRunRowsPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if fmt.Sprint(r) != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	RunRows(3, 10, func(worker, row int) {
+		if row == 4 {
+			panic("boom")
+		}
+	})
+}
+
+func TestGridWriteCSVLongForm(t *testing.T) {
+	g := NewGrid("t", "poshare", "nu", []float64{0.1, 0.2}, []float64{1, 2}, []string{"phi"})
+	for r := range g.Ys {
+		for c := range g.Xs {
+			g.Layers[0].Z[r][c] = float64(10*r + c)
+		}
+	}
+	var b strings.Builder
+	if err := g.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "layer,poshare,nu,value\n" +
+		"phi,0.1,1,0\n" +
+		"phi,0.2,1,1\n" +
+		"phi,0.1,2,10\n" +
+		"phi,0.2,2,11\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+	if g.Cells() != 4 {
+		t.Fatalf("Cells() = %d, want 4", g.Cells())
+	}
+}
+
+func TestGridWriteCSVShapeMismatch(t *testing.T) {
+	g := NewGrid("t", "x", "y", []float64{1, 2}, []float64{3}, []string{"phi"})
+	g.Layers[0].Z[0] = g.Layers[0].Z[0][:1] // corrupt the row width
+	if err := g.WriteCSV(&strings.Builder{}); err == nil {
+		t.Fatal("mismatched layer shape not rejected")
+	}
+}
+
+func TestGridRowExtraction(t *testing.T) {
+	g := NewGrid("t", "poshare", "nu", []float64{0.1, 0.2, 0.3}, []float64{5, 7}, []string{"phi", "share/a"})
+	for c := range g.Xs {
+		g.Layers[0].Z[1][c] = float64(c) * 2
+	}
+	s, err := g.Row("phi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.X[2] != 0.3 || s.Y[2] != 4 {
+		t.Fatalf("unexpected row series %+v", s)
+	}
+	if _, err := g.Row("nope", 0); err == nil {
+		t.Fatal("unknown layer not rejected")
+	}
+	if _, err := g.Row("phi", 9); err == nil {
+		t.Fatal("out-of-range row not rejected")
+	}
+}
+
+// failWriter errors after n bytes, exercising the CSV flush path: csv.Writer
+// buffers through bufio, so small tables only touch the destination at
+// Flush time and the error must be read back from cw.Error().
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errSink
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestTableWriteCSVReturnsFlushError(t *testing.T) {
+	tbl := &Table{XLabel: "x", YLabel: "y"}
+	s := Series{Name: "s"}
+	s.Append(1, 2)
+	tbl.Add(s)
+	err := tbl.WriteCSV(&failWriter{n: 3})
+	if !errors.Is(err, errSink) {
+		t.Fatalf("flush error lost: %v", err)
+	}
+}
+
+func TestGridWriteCSVReturnsFlushError(t *testing.T) {
+	g := NewGrid("t", "x", "y", []float64{1}, []float64{2}, []string{"phi"})
+	err := g.WriteCSV(&failWriter{n: 3})
+	if !errors.Is(err, errSink) {
+		t.Fatalf("flush error lost: %v", err)
+	}
+}

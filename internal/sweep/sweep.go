@@ -1,12 +1,13 @@
 // Package sweep provides the parameter-sweep machinery behind the figure
-// reproductions: named series, figure tables, CSV export and a small
-// parallel runner.
+// reproductions: named series, figure tables, 2-D grids, long-form CSV
+// export, and two small parallel runners.
 //
 // Concurrency note: the game solvers in internal/core keep warm-start state
 // and are not safe for concurrent use. Sweeps along a single curve are
 // sequential by design (each point warm-starts the next); parallelism is
 // applied across independent curves via RunParallel, with one solver per
-// task.
+// task. 2-D grids parallelize across rows via the work-stealing RunRows,
+// with one solver per worker and warm starts along each row.
 package sweep
 
 import (
@@ -18,7 +19,9 @@ import (
 	"sync"
 )
 
-// Series is one named curve of a figure.
+// Series is one named curve of a figure: parallel X/Y slices in model
+// units (X is typically a sweep axis such as per-capita capacity ν or the
+// premium price c; Y a surplus Φ/Ψ, a market share, or a utilization).
 type Series struct {
 	Name string
 	X, Y []float64
@@ -34,7 +37,9 @@ func (s *Series) Append(x, y float64) {
 func (s *Series) Len() int { return len(s.X) }
 
 // Table is a reproduced figure: a set of series over a common x-axis
-// quantity.
+// quantity. XLabel names the swept axis ("nu", "price", ...), YLabel the
+// recorded metric ("phi", "share", ...); both flow into CSV headers and
+// chart legends unchanged.
 type Table struct {
 	Title  string
 	XLabel string
@@ -68,7 +73,12 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		// Flush is the only point buffered bytes actually reach w, so a
+		// short write (full disk, closed pipe) surfaces here, not above.
+		return fmt.Errorf("sweep: flushing CSV: %w", err)
+	}
+	return nil
 }
 
 // RunParallel executes the tasks concurrently on up to workers goroutines

@@ -105,7 +105,11 @@ type (
 
 // Ensemble φ settings (§III-E and appendix).
 const (
-	PhiCorrelated  = traffic.PhiCorrelated
+	// PhiCorrelated is the main-text setting: φ_i ~ U[0, β_i], biasing
+	// utility toward throughput-sensitive CPs.
+	PhiCorrelated = traffic.PhiCorrelated
+	// PhiIndependent is the appendix setting: φ_i drawn independently of
+	// β_i on the same scale (Figures 9–12).
 	PhiIndependent = traffic.PhiIndependent
 )
 
