@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +25,8 @@ func serveCmd(args []string) error {
 	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache-entries", publicoption.DefaultServiceCacheEntries,
 		"equilibrium cache LRU bound (negative disables caching)")
+	pprofEnabled := fs.Bool("pprof", false,
+		"expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -35,11 +38,15 @@ func serveCmd(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "pubopt-serve ", log.LstdFlags)
-	handler := publicoption.NewService(publicoption.ServiceOptions{
+	var handler http.Handler = publicoption.NewService(publicoption.ServiceOptions{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		Log:          logger,
 	})
+	if *pprofEnabled {
+		handler = withPprof(handler)
+		logger.Printf("pprof profiling enabled at /debug/pprof/")
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -71,4 +78,20 @@ func serveCmd(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers at /debug/pprof/ in front of
+// the service handler. Profiling is how hot-path regressions in the solve
+// kernel are diagnosed in production (see docs/PERFORMANCE.md), but the
+// endpoints expose goroutine stacks and heap contents, so they stay behind
+// the explicit -pprof opt-in.
+func withPprof(service http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", service)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// stub is a recognizable backing handler for the pprof-wrapping tests.
+type stub struct{}
+
+func (stub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot)
+}
+
+// TestWithPprofMountsProfilingEndpoints verifies the -pprof wrapper: the
+// profiling index answers under /debug/pprof/ and everything else still
+// reaches the service handler.
+func TestWithPprofMountsProfilingEndpoints(t *testing.T) {
+	h := withPprof(stub{})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if body := rec.Body.String(); body == "" {
+		t.Fatal("pprof index returned an empty body")
+	}
+
+	for _, path := range []string{"/healthz", "/v1/scenarios", "/"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("GET %s = %d, want to fall through to the service handler", path, rec.Code)
+		}
+	}
+}
+
+// TestServeRejectsBadFlags pins the serve command's usage-error contract
+// for the new flag set.
+func TestServeRejectsBadFlags(t *testing.T) {
+	quiet(t)
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-pprof=maybe"},
+		{"extra-arg"},
+	} {
+		if err := serveCmd(args); err == nil {
+			t.Fatalf("serveCmd(%v): expected usage error", args)
+		}
+	}
+}

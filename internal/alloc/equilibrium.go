@@ -33,13 +33,26 @@ func (r *Result) PerCapitaRate(i int) float64 { return r.Pop[i].PerCapitaRate(r.
 
 // Aggregate returns λ_N/M = Σ_i λ_i/M, the equilibrium aggregate per-capita
 // throughput. By Axiom 2 this equals min(ν, Σ α_i θ̂_i) up to solver
-// tolerance.
+// tolerance. The sum streams through a Kahan accumulator (it is called
+// from metrics and per-cell finalization, so it must not allocate).
 func (r *Result) Aggregate() float64 {
-	rates := make([]float64, len(r.Theta))
+	var k numeric.Kahan
 	for i := range r.Theta {
-		rates[i] = r.PerCapitaRate(i)
+		k.Add(r.PerCapitaRate(i))
 	}
-	return numeric.Sum(rates)
+	return k.Value()
+}
+
+// Clone returns a deep copy of the equilibrium, detached from any solver
+// workspace: both the θ profile and the population slice header are copied,
+// so the clone stays valid after the workspace that produced the original
+// rebinds its buffers. Results returned by Solve are already owned and do
+// not need cloning.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Theta = append([]float64(nil), r.Theta...)
+	c.Pop = append(traffic.Population(nil), r.Pop...)
+	return &c
 }
 
 // Utilization returns the fraction of capacity in use, Aggregate()/ν, or 1
@@ -77,6 +90,12 @@ const relTol = 1e-12
 //
 // Solve panics on negative ν (a programming error); an empty population
 // yields an empty, unconstrained result.
+//
+// Solve is the reference implementation: a fixed cold bisection with
+// per-CP interface dispatch, kept deliberately simple. The hot paths (the
+// class game, the market solvers, grid sweeps) solve through the reusable
+// Workspace, whose warm-started, devirtualized kernel is pinned to this
+// function by the golden-equivalence tests in solver_test.go.
 func Solve(a Allocator, nu float64, pop traffic.Population) *Result {
 	if nu < 0 || math.IsNaN(nu) {
 		panic(fmt.Sprintf("alloc: Solve called with invalid ν=%g", nu))
@@ -130,8 +149,11 @@ func ThetaCurve(a Allocator, nuGrid []float64, pop traffic.Population) [][]float
 	for i := range curves {
 		curves[i] = make([]float64, len(nuGrid))
 	}
+	// One workspace for the whole curve: each capacity's water level
+	// warm-starts the next (the level is monotone in ν, Axiom 3).
+	w := NewWorkspace(a)
 	for j, nu := range nuGrid {
-		res := Solve(a, nu, pop)
+		res := w.Solve(nu, pop)
 		for i := range pop {
 			curves[i][j] = res.Theta[i]
 		}

@@ -52,3 +52,28 @@ func (PerCPMaxMin) LevelHi(pop traffic.Population) float64 {
 
 // Name implements Allocator.
 func (PerCPMaxMin) Name() string { return "percp-maxmin" }
+
+// AggregateAt implements BulkAllocator. For this mechanism the aggregate
+// needs no inner inversion at all: by construction CP i's aggregate
+// per-capita rate at level ℓ is exactly y_i(ℓ) = min(ℓ, α_i·θ̂_i) — the
+// water-filled quantity itself — so the sum is closed form. This turns the
+// solver's root search from O(n·inner-bisections) per evaluation into a
+// plain O(n) sum; only the final RatesAt pays for the θ inversions, once.
+func (PerCPMaxMin) AggregateAt(level float64, pop traffic.Population) float64 {
+	if level <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pop {
+		sum += math.Min(level, pop[i].Alpha*pop[i].ThetaHat)
+	}
+	return sum
+}
+
+// RatesAt implements BulkAllocator: the per-CP inversion of α·d(θ)·θ at the
+// water-filled target, with a concrete receiver.
+func (p PerCPMaxMin) RatesAt(level float64, pop traffic.Population, out []float64) {
+	for i := range pop {
+		out[i] = p.RateAt(level, &pop[i])
+	}
+}

@@ -1,0 +1,378 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// Workspace is a reusable, allocation-free equilibrium solver: the hot-path
+// counterpart of Solve. It owns every scratch buffer the solve needs — the
+// flattened per-CP parameter arrays, the θ output buffer and a pooled
+// Result — and it keeps the equilibrium level of the previous solve as a
+// warm start for the next one.
+//
+// # Pooling contract
+//
+// Solve returns a pointer to the workspace's own Result; the pointed-to
+// value (including its Theta slice) is valid only until the next call to
+// Solve on the same workspace. Callers that retain an equilibrium across
+// solves must Clone it. This is the deliberate trade: the games solve
+// thousands of intermediate equilibria per published point and read each
+// one immediately, so the hot path allocates nothing, and only the handful
+// of results that outlive an iteration pay for copies.
+//
+// # Warm starts
+//
+// Along a sweep — capacity grids, price grids, the class dynamics'
+// single-CP moves — the equilibrium level moves slowly (Axiom 3 makes it
+// monotone in ν, and one CP switching classes perturbs it by O(α_i)). The
+// workspace therefore brackets the new root around the previous level and
+// hands the tight bracket to a hybrid secant/bisection search, converging
+// in a handful of aggregate-map evaluations instead of a full cold
+// bisection. Warm starts never change the answer (the bracket is verified
+// by sign before it is trusted and the tolerance matches Solve's); they
+// only change how fast it is reached. Reset drops the warm state.
+//
+// A Workspace is not safe for concurrent use; create one per goroutine
+// (sweep workers each own one, which is exactly the shape sweep.RunRows
+// distributes).
+type Workspace struct {
+	a    Allocator
+	bulk BulkAllocator // non-nil when a implements the bulk fast path
+	lin  levelLinear   // non-nil when a is level-linear (flattened path)
+
+	// Flattened per-CP state, rebound on every Solve (level-linear path
+	// only). Binding is one pass over the population — the same order of
+	// work as a single aggregate evaluation — and buys back dozens of
+	// interface dispatches per root-search iteration.
+	gain     []float64 // g_i: θ_i(ℓ) = min(g_i·ℓ, θ̂_i)
+	alpha    []float64
+	thetaHat []float64
+	dkind    []uint8   // demand family tag (dExponential, ...)
+	dparam   []float64 // demand family parameter (β, floor, γ)
+	pop      traffic.Population
+
+	res   Result
+	theta []float64
+
+	warmLevel float64
+	warmHi    float64
+	hasWarm   bool
+	// lastDelta is how far the level moved on the previous constrained
+	// solve; the warm bracket opens ±2·lastDelta around the previous level,
+	// because along a sweep consecutive moves have comparable size.
+	lastDelta float64
+
+	// evals counts aggregate-map evaluations across the workspace's
+	// lifetime; the warm-start tests and benchmarks read it through Evals.
+	evals int
+}
+
+// NewWorkspace returns a workspace for mechanism a (nil means the paper's
+// max-min mechanism).
+func NewWorkspace(a Allocator) *Workspace {
+	if a == nil {
+		a = MaxMin{}
+	}
+	w := &Workspace{a: a}
+	if b, ok := a.(BulkAllocator); ok {
+		w.bulk = b
+	}
+	if l, ok := a.(levelLinear); ok {
+		w.lin = l
+	}
+	return w
+}
+
+// Allocator returns the mechanism this workspace solves under.
+func (w *Workspace) Allocator() Allocator { return w.a }
+
+// Evals returns the cumulative number of aggregate-rate evaluations the
+// workspace has performed — the unit of solver work. Warm solves should
+// show a small fraction of a cold solve's count.
+func (w *Workspace) Evals() int { return w.evals }
+
+// Reset drops the warm-start state (keeping the scratch buffers). Call it
+// between sweeps over unrelated systems if you want reproducible eval
+// counts; correctness never requires it.
+func (w *Workspace) Reset() { w.hasWarm = false }
+
+// ensure grows the scratch buffers to hold n CPs without allocating on the
+// steady state.
+func (w *Workspace) ensure(n int) {
+	if cap(w.theta) < n {
+		w.theta = make([]float64, n)
+		w.gain = make([]float64, n)
+		w.alpha = make([]float64, n)
+		w.thetaHat = make([]float64, n)
+		w.dkind = make([]uint8, n)
+		w.dparam = make([]float64, n)
+	}
+	w.theta = w.theta[:n]
+	w.gain = w.gain[:n]
+	w.alpha = w.alpha[:n]
+	w.thetaHat = w.thetaHat[:n]
+	w.dkind = w.dkind[:n]
+	w.dparam = w.dparam[:n]
+}
+
+// bind flattens the population for the level-linear fast path and returns
+// the mechanism's unconstrained level (LevelHi). For non-level-linear
+// mechanisms it only records the population and asks the mechanism.
+func (w *Workspace) bind(pop traffic.Population) (hi float64) {
+	w.pop = pop
+	if w.lin == nil {
+		return w.a.LevelHi(pop)
+	}
+	hi = w.lin.gains(pop, w.gain)
+	for i := range pop {
+		cp := &pop[i]
+		w.alpha[i] = cp.Alpha
+		w.thetaHat[i] = cp.ThetaHat
+		w.dkind[i], w.dparam[i] = classifyCurve(cp.Curve)
+	}
+	return hi
+}
+
+// aggregateAt evaluates the aggregate per-capita rate map at level through
+// the fastest path the mechanism supports.
+func (w *Workspace) aggregateAt(level float64) float64 {
+	w.evals++
+	if w.lin != nil {
+		return w.flatAggregate(level)
+	}
+	if w.bulk != nil {
+		return w.bulk.AggregateAt(level, w.pop)
+	}
+	var sum float64
+	for i := range w.pop {
+		sum += EvalPerCapitaRate(&w.pop[i], w.a.RateAt(level, &w.pop[i]))
+	}
+	return sum
+}
+
+// flatAggregate is the devirtualized inner loop: pure float arithmetic over
+// the flattened arrays, one math.Exp per exponential-demand CP, zero
+// interface calls for the built-in demand families.
+func (w *Workspace) flatAggregate(level float64) float64 {
+	var sum float64
+	for i, g := range w.gain {
+		th := g * level
+		if hat := w.thetaHat[i]; th > hat {
+			th = hat
+		}
+		if th <= 0 {
+			continue
+		}
+		var d float64
+		if kind := w.dkind[i]; kind != dGeneric {
+			d = demandAtKind(kind, w.dparam[i], th/w.thetaHat[i])
+		} else {
+			d = w.pop[i].Curve.At(th / w.thetaHat[i])
+		}
+		sum += w.alpha[i] * d * th
+	}
+	return sum
+}
+
+// ratesAt fills out[i] = θ_i(level) through the fastest supported path.
+func (w *Workspace) ratesAt(level float64, out []float64) {
+	if w.lin != nil {
+		for i, g := range w.gain {
+			th := g * level
+			if level <= 0 {
+				th = 0
+			} else if hat := w.thetaHat[i]; th > hat {
+				th = hat
+			}
+			out[i] = th
+		}
+		return
+	}
+	if w.bulk != nil {
+		w.bulk.RatesAt(level, w.pop, out)
+		return
+	}
+	for i := range w.pop {
+		out[i] = w.a.RateAt(level, &w.pop[i])
+	}
+}
+
+// Solve computes the rate equilibrium of the per-capita system (ν, pop):
+// the same map as Solve (Theorem 1), through the workspace's fast path.
+// The returned Result is pooled — see the type comment.
+func (w *Workspace) Solve(nu float64, pop traffic.Population) *Result {
+	if nu < 0 || math.IsNaN(nu) {
+		panic(fmt.Sprintf("alloc: Workspace.Solve called with invalid ν=%g", nu))
+	}
+	n := len(pop)
+	w.ensure(n)
+	res := &w.res
+	*res = Result{Nu: nu, Pop: pop, Theta: w.theta}
+	if n == 0 {
+		return res
+	}
+	hi := w.bind(pop)
+	total := pop.TotalUnconstrainedPerCapita()
+	if nu >= total {
+		// Uncongested: Axiom 2 forces θ_i = θ̂_i for every CP.
+		for i := range pop {
+			w.theta[i] = pop[i].ThetaHat
+		}
+		res.Level = hi
+		w.warmLevel, w.warmHi, w.hasWarm = hi, hi, true
+		return res
+	}
+	res.Constrained = true
+	level := w.findLevel(nu, hi, total)
+	res.Level = level
+	w.ratesAt(level, w.theta)
+	if w.hasWarm {
+		w.lastDelta = math.Abs(level - w.warmLevel)
+	}
+	w.warmLevel, w.warmHi, w.hasWarm = level, hi, true
+	return res
+}
+
+// SolveSystem is the absolute-scale entry point (Axiom 4 / Lemma 1):
+// Workspace.Solve at ν = µ/M. M must be positive.
+func (w *Workspace) SolveSystem(m, mu float64, pop traffic.Population) *Result {
+	if !(m > 0) {
+		panic(fmt.Sprintf("alloc: Workspace.SolveSystem called with M=%g, want > 0", m))
+	}
+	return w.Solve(mu/m, pop)
+}
+
+// findLevel locates the work-conserving level: the root of
+// f(ℓ) = aggregate(ℓ) − ν on [0, hi], with f non-decreasing, f(0) = −ν ≤ 0
+// and f(hi) = total − ν > 0 (the caller has already excluded the
+// uncongested case). The endpoint values are known analytically, so a cold
+// solve starts with zero evaluations spent on the bracket; a warm solve
+// shrinks the bracket around the previous level first.
+func (w *Workspace) findLevel(nu, hi, total float64) float64 {
+	tol := relTol * hi
+	lo, flo := 0.0, -nu
+	up, fup := hi, total-nu
+	if flo >= 0 {
+		return lo // ν = 0: the zero level is work conserving
+	}
+
+	if w.hasWarm && w.warmLevel > 0 {
+		// Trust the previous level only as a probe point: evaluate, assign
+		// it to the correct side of the bracket, then step geometrically
+		// toward the other side until the sign flips. Levels move slowly
+		// along sweeps, so the first or second step usually brackets.
+		x0 := w.warmLevel
+		if w.warmHi > 0 && w.warmHi != hi {
+			// The level range rescaled (population or weights changed);
+			// carry the warm level across proportionally.
+			x0 *= hi / w.warmHi
+		}
+		if x0 > lo+tol && x0 < up-tol {
+			f0 := w.aggregateAt(x0) - nu
+			if f0 == 0 {
+				return x0
+			}
+			if f0 < 0 {
+				lo, flo = x0, f0
+			} else {
+				up, fup = x0, f0
+			}
+			// Probe the other side of the root. The step opens at twice
+			// the previous solve's level motion (consecutive sweep points
+			// move comparably), falling back to 1e-3·hi when no motion
+			// history exists, and expands geometrically on a miss.
+			step := 2 * w.lastDelta
+			if step < 64*tol {
+				step = 1e-3 * hi
+			}
+			if step > hi/4 {
+				step = hi / 4
+			}
+			for k := 0; k < 5 && up-lo > tol; k++ {
+				var x float64
+				if fup == total-nu && up == hi {
+					// Root is above x0: probe upward from the lower end.
+					x = lo + step
+					if x >= hi {
+						break
+					}
+				} else if flo == -nu && lo == 0 {
+					// Root is below x0: probe downward from the upper end.
+					x = up - step
+					if x <= 0 {
+						break
+					}
+				} else {
+					break // both sides already tightened
+				}
+				fx := w.aggregateAt(x) - nu
+				if fx == 0 {
+					return x
+				}
+				if fx < 0 {
+					lo, flo = x, fx
+				} else {
+					up, fup = x, fx
+				}
+				step *= 8
+			}
+		}
+	}
+
+	// Bracketed hybrid search: Illinois-damped false position — the secant
+	// through the bracket endpoints, halving a stale endpoint's residual so
+	// convex aggregates cannot stall an end — with a bisection safeguard
+	// that fires only when four consecutive secant steps fail to halve the
+	// bracket. Terminates on the same bracket-width criterion as Solve's
+	// bisection, so the two agree to solver tolerance.
+	side := 0
+	checkWidth := up - lo
+	sinceCheck := 0
+	for iter := 0; iter < maxLevelIter && up-lo > tol; iter++ {
+		var x float64
+		if sinceCheck >= 4 {
+			if up-lo > checkWidth/2 {
+				x = lo + (up-lo)/2 // stagnating: force a bisection step
+				side = 0
+			}
+			checkWidth = up - lo
+			sinceCheck = 0
+		}
+		if x == 0 {
+			x = (lo*fup - up*flo) / (fup - flo)
+			if !(x > lo && x < up) {
+				x = lo + (up-lo)/2
+				side = 0
+			}
+		}
+		sinceCheck++
+		fx := w.aggregateAt(x) - nu
+		switch {
+		case fx == 0:
+			return x
+		case fx < 0:
+			lo, flo = x, fx
+			if side < 0 {
+				fup /= 2
+			}
+			side = -1
+		default:
+			up, fup = x, fx
+			if side > 0 {
+				flo /= 2
+			}
+			side = 1
+		}
+	}
+	return lo + (up-lo)/2
+}
+
+// maxLevelIter caps the hybrid search. The stagnation safeguard halves the
+// bracket at least once every eight evaluations, so the budget covers far
+// more than the 50 halvings a full-range bisection needs; in practice the
+// Illinois steps finish a cold solve in ~10 evaluations and a warm solve
+// in a handful.
+const maxLevelIter = 400

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// Competitive-equilibrium benchmarks: the unit of work every market solve,
+// monopoly grid and 2-D sweep repeats. CI extracts these (with -benchmem)
+// into BENCH_core.json alongside the alloc kernel and grid-cell probes.
+
+func benchSetup() (*Solver, Strategy, float64, traffic.Population) {
+	pop := traffic.PaperPopulation(traffic.PhiCorrelated) // 1000 CPs
+	return NewSolver(nil), Strategy{Kappa: 0.5, C: 0.4}, 100.0, pop
+}
+
+// BenchmarkCompetitiveEquilibrium1000 solves the full class game from the
+// affordability initial partition each iteration — the cold unit of work.
+func BenchmarkCompetitiveEquilibrium1000(b *testing.B) {
+	s, strat, nu, pop := benchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Competitive(strat, nu, pop)
+	}
+}
+
+// BenchmarkCompetitiveWarmSweep1000 sweeps the premium price with the
+// warm-start partition threaded point to point — the exact shape of
+// RevenueCurve, OptimalPrice and the grid row runners.
+func BenchmarkCompetitiveWarmSweep1000(b *testing.B) {
+	s, strat, nu, pop := benchSetup()
+	prices := []float64{0.38, 0.4, 0.42}
+	warm := s.Competitive(strat, nu, pop).InPremium
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strat.C = prices[i%len(prices)]
+		eq := s.CompetitiveFrom(strat, nu, pop, warm)
+		warm = eq.InPremium
+	}
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/netecon-sim/publicoption/internal/alloc"
 	"github.com/netecon-sim/publicoption/internal/econ"
@@ -12,7 +13,14 @@ import (
 )
 
 // Solver computes CP class-choice equilibria. The zero value is not usable;
-// construct with NewSolver.
+// construct with NewSolver. Alloc must not be mutated after the first
+// solve: the solver binds reusable equilibrium workspaces to it.
+//
+// A Solver owns warm-started alloc.Workspace kernels (one per class, one
+// for post-join verification) plus the split/join scratch buffers of the
+// competitive dynamics, so repeated solves — price grids, capacity sweeps,
+// migration bisections — run without per-iteration allocation. It is not
+// safe for concurrent use; sweeps create one Solver per worker.
 type Solver struct {
 	Alloc   alloc.Allocator
 	MaxIter int // iteration budget for the competitive fixed point
@@ -23,6 +31,16 @@ type Solver struct {
 	// the band automatically (reported in ClassEquilibrium.EpsUsed) if
 	// best-gain dynamics still cycle.
 	EpsUtil float64
+
+	// Equilibrium kernels: one warm level per class (the ordinary and
+	// premium levels evolve separately along the dynamics) and one for
+	// post-join counterfactuals.
+	wsO, wsP, wsJoin *alloc.Workspace
+	// Scratch: class partitions, the members∪{cp} join buffer, and the
+	// visited-partition set of the cycle detector.
+	ordBuf, premBuf traffic.Population
+	joinBuf         traffic.Population
+	seen            partitionSet
 }
 
 // NewSolver returns a Solver using mechanism a (nil means the paper's
@@ -31,7 +49,36 @@ func NewSolver(a alloc.Allocator) *Solver {
 	if a == nil {
 		a = alloc.MaxMin{}
 	}
-	return &Solver{Alloc: a, MaxIter: 600, EpsUtil: 1e-9}
+	s := &Solver{Alloc: a, MaxIter: 600, EpsUtil: 1e-9}
+	s.kernels()
+	return s
+}
+
+// kernels creates the equilibrium workspaces (lazily, so hand-rolled
+// Solver literals keep working).
+func (s *Solver) kernels() {
+	if s.wsO == nil {
+		s.wsO = alloc.NewWorkspace(s.Alloc)
+		s.wsP = alloc.NewWorkspace(s.Alloc)
+		s.wsJoin = alloc.NewWorkspace(s.Alloc)
+	}
+}
+
+// splitScratch partitions pop by membership flags into the solver's
+// reusable class buffers, preserving order. The returned slices alias the
+// scratch and are valid until the next splitScratch call; results that
+// outlive an iteration (finalize) clone what they keep.
+func (s *Solver) splitScratch(pop traffic.Population, premium []bool) (ordinary, prem traffic.Population) {
+	s.ordBuf = s.ordBuf[:0]
+	s.premBuf = s.premBuf[:0]
+	for i := range pop {
+		if premium[i] {
+			s.premBuf = append(s.premBuf, pop[i])
+		} else {
+			s.ordBuf = append(s.ordBuf, pop[i])
+		}
+	}
+	return s.ordBuf, s.premBuf
 }
 
 // ClassEquilibrium is the outcome of the CP simultaneous-move game at one
@@ -120,13 +167,14 @@ func (e *ClassEquilibrium) String() string {
 // a larger θ̂ could draw from the spare capacity. The screening estimate
 // only needs to be an upper bound on the true post-join value, because every
 // candidate move is verified against the exact post-join level before being
-// taken. A class with zero capacity advertises nothing.
-func (s *Solver) classLevel(res *alloc.Result, capacity float64, full traffic.Population) float64 {
+// taken. A class with zero capacity advertises nothing. hiFull is the
+// unconstrained level of the full population (precomputed once per solve).
+func (s *Solver) classLevel(res *alloc.Result, capacity, hiFull float64) float64 {
 	if len(res.Pop) > 0 && res.Constrained {
 		return res.Level
 	}
 	if capacity > 0 {
-		return s.Alloc.LevelHi(full)
+		return hiFull
 	}
 	return 0
 }
@@ -134,13 +182,15 @@ func (s *Solver) classLevel(res *alloc.Result, capacity float64, full traffic.Po
 // postJoinTheta returns the per-user throughput CP cp would actually get if
 // it joined the class currently holding members (with the given capacity):
 // the rate equilibrium of members ∪ {cp}. This is the paper's Assumption 3
-// with a rational-expectations (exact ex-post) estimator.
+// with a rational-expectations (exact ex-post) estimator. The joined
+// population lives in the solver's reusable join buffer, and the solve runs
+// on the warm post-join kernel.
 func (s *Solver) postJoinTheta(cp *traffic.CP, capacity float64, members traffic.Population) float64 {
-	joined := make(traffic.Population, 0, len(members)+1)
-	joined = append(joined, members...)
-	joined = append(joined, *cp)
-	res := alloc.Solve(s.Alloc, capacity, joined)
-	return res.Theta[len(joined)-1]
+	s.kernels()
+	s.joinBuf = append(s.joinBuf[:0], members...)
+	s.joinBuf = append(s.joinBuf, *cp)
+	res := s.wsJoin.Solve(capacity, s.joinBuf)
+	return res.Theta[len(s.joinBuf)-1]
 }
 
 // classCurve caches one class's aggregate-rate map τ ↦ λ_class(τ) so that
@@ -176,13 +226,10 @@ func (s *Solver) newClassCurve(members traffic.Population, capacity float64, ful
 	return c
 }
 
-// exact returns λ_class(tau) by direct summation.
+// exact returns λ_class(tau) by direct summation, through the mechanism's
+// bulk fast path.
 func (c *classCurve) exact(tau float64) float64 {
-	var sum float64
-	for i := range c.members {
-		sum += c.members[i].PerCapitaRate(c.alloc.RateAt(tau, &c.members[i]))
-	}
-	return sum
+	return alloc.AggregateAt(c.alloc, tau, c.members)
 }
 
 // postJoinTheta returns the level-form throughput cp would get after joining
@@ -195,7 +242,7 @@ func (c *classCurve) postJoinTheta(cp *traffic.CP) float64 {
 		return 0
 	}
 	own := func(tau float64) float64 {
-		return cp.PerCapitaRate(c.alloc.RateAt(tau, cp))
+		return alloc.EvalPerCapitaRate(cp, alloc.EvalRate(c.alloc, tau, cp))
 	}
 	if c.total+own(c.hi) <= c.cap {
 		return c.alloc.RateAt(c.hi, cp) // everyone unconstrained
@@ -229,8 +276,8 @@ func (c *classCurve) postJoinTheta(cp *traffic.CP) float64 {
 // premium iff gain > 0; ties go to the ordinary class, the paper's
 // tie-breaking convention.
 func (s *Solver) switchGain(cp *traffic.CP, c, levelO, levelP float64) float64 {
-	rhoO := cp.Rho(s.Alloc.RateAt(levelO, cp))
-	rhoP := cp.Rho(s.Alloc.RateAt(levelP, cp))
+	rhoO := alloc.EvalRho(cp, alloc.EvalRate(s.Alloc, levelO, cp))
+	rhoP := alloc.EvalRho(cp, alloc.EvalRate(s.Alloc, levelP, cp))
 	return cp.Alpha * ((cp.V-c)*rhoP - cp.V*rhoO)
 }
 
@@ -291,6 +338,7 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 	if nu < 0 || math.IsNaN(nu) {
 		panic(fmt.Sprintf("core: Competitive called with ν=%g", nu))
 	}
+	s.kernels()
 	eq := &ClassEquilibrium{
 		Strategy:  strategy,
 		Nu:        nu,
@@ -321,11 +369,17 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 
 	capO := (1 - strategy.Kappa) * nu
 	capP := strategy.Kappa * nu
+	// The unconstrained level of the full population is what an uncongested
+	// class advertises; it is a function of (mechanism, pop) only, so hoist
+	// it out of the dynamics.
+	hiFull := s.Alloc.LevelHi(pop)
 	levels := func(premium []bool) (lO, lP float64) {
-		o, p := split(pop, premium)
-		resO := alloc.Solve(s.Alloc, capO, o)
-		resP := alloc.Solve(s.Alloc, capP, p)
-		return s.classLevel(resO, capO, pop), s.classLevel(resP, capP, pop)
+		o, p := s.splitScratch(pop, premium)
+		resO := s.wsO.Solve(capO, o)
+		lO = s.classLevel(resO, capO, hiFull)
+		resP := s.wsP.Solve(capP, p)
+		lP = s.classLevel(resP, capP, hiFull)
+		return lO, lP
 	}
 
 	eps := s.EpsUtil
@@ -351,12 +405,23 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 				movers = append(movers, mover{idx: i, gain: -g})
 			}
 		}
-		sort.Slice(movers, func(a, b int) bool { return movers[a].gain > movers[b].gain })
+		// Generic sort: unlike sort.Slice it reflects nothing and allocates
+		// nothing, and screen runs once per dynamics iteration.
+		slices.SortFunc(movers, func(a, b mover) int {
+			switch {
+			case a.gain > b.gain:
+				return -1
+			case a.gain < b.gain:
+				return 1
+			}
+			return 0
+		})
 		return movers
 	}
 
 	lO, lP := levels(eq.InPremium)
-	seen := map[string]bool{partitionKey(eq.InPremium): true}
+	s.seen.reset()
+	s.seen.add(eq.InPremium)
 
 	// Phase 1: simultaneous screened moves with an adaptive mover cap.
 	// Oscillation means a block of CPs overshot together; halving the cap
@@ -379,25 +444,25 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 			eq.InPremium[m.idx] = !eq.InPremium[m.idx]
 		}
 		lO, lP = levels(eq.InPremium)
-		key := partitionKey(eq.InPremium)
-		if seen[key] {
+		if s.seen.add(eq.InPremium) {
 			cap1 /= 2 // oscillating: shrink the block
-			seen = map[string]bool{}
+			s.seen.reset()
+			s.seen.add(eq.InPremium)
 		}
-		seen[key] = true
 	}
 
 	// Phase 2: sequential verified moves. Candidate verification reuses a
 	// cached aggregate-rate curve per class per iteration, so scanning even
 	// dozens of marginal candidates costs a couple of class sweeps rather
 	// than a full equilibrium solve each.
-	seen = map[string]bool{partitionKey(eq.InPremium): true}
+	s.seen.reset()
+	s.seen.add(eq.InPremium)
 	for iter := eq.Iterations + 1; iter <= s.MaxIter; iter++ {
 		eq.Iterations = iter
 		ms := screen(lO, lP)
 		movedIdx := -1
 		if len(ms) > 0 {
-			o, p := split(pop, eq.InPremium)
+			o, p := s.splitScratch(pop, eq.InPremium)
 			// Class curves are built lazily: when the top candidate passes
 			// verification (the common case mid-churn), one direct solve is
 			// cheaper than sampling the curve; the cached curve pays off
@@ -432,14 +497,14 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 						theta = curveO.postJoinTheta(cp)
 					}
 				}
-				uTarget := (cp.V - price) * cp.Alpha * cp.Rho(theta)
+				uTarget := (cp.V - price) * cp.Alpha * alloc.EvalRho(cp, theta)
 				// Current utility at the exact current level (the CP is
 				// already counted in its own class).
 				curLevel, curPrice := lO, 0.0
 				if eq.InPremium[m.idx] {
 					curLevel, curPrice = lP, strategy.C
 				}
-				uCur := (cp.V - curPrice) * cp.Alpha * cp.Rho(s.Alloc.RateAt(curLevel, cp))
+				uCur := (cp.V - curPrice) * cp.Alpha * alloc.EvalRho(cp, alloc.EvalRate(s.Alloc, curLevel, cp))
 				if uTarget-uCur > eps*utilityScale(cp, strategy.C) {
 					eq.InPremium[m.idx] = targetPremium
 					movedIdx = m.idx
@@ -454,12 +519,11 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 			return eq
 		}
 		lO, lP = levels(eq.InPremium)
-		key := partitionKey(eq.InPremium)
-		if seen[key] {
+		if s.seen.add(eq.InPremium) {
 			eps *= 8 // interleaved cycle: widen the indifference band
-			seen = map[string]bool{}
+			s.seen.reset()
+			s.seen.add(eq.InPremium)
 		}
-		seen[key] = true
 	}
 	eq.Converged = false
 	eq.EpsUsed = eps
@@ -494,11 +558,14 @@ func (s *Solver) Trivial(strategy Strategy, nu float64, pop traffic.Population) 
 }
 
 // finalize computes the exact intra-class equilibria and the per-CP θ for
-// the current partition.
+// the current partition. The intra-class solves run on the warm kernels;
+// the results are cloned because ClassEquilibrium retains them past the
+// solver's next use of the workspaces.
 func (s *Solver) finalize(eq *ClassEquilibrium) {
-	o, p := split(eq.Pop, eq.InPremium)
-	eq.Ordinary = alloc.Solve(s.Alloc, (1-eq.Strategy.Kappa)*eq.Nu, o)
-	eq.Premium = alloc.Solve(s.Alloc, eq.Strategy.Kappa*eq.Nu, p)
+	s.kernels()
+	o, p := s.splitScratch(eq.Pop, eq.InPremium)
+	eq.Ordinary = s.wsO.Solve((1-eq.Strategy.Kappa)*eq.Nu, o).Clone()
+	eq.Premium = s.wsP.Solve(eq.Strategy.Kappa*eq.Nu, p).Clone()
 	oi, pi := 0, 0
 	for i := range eq.Pop {
 		if eq.InPremium[i] {
@@ -511,7 +578,10 @@ func (s *Solver) finalize(eq *ClassEquilibrium) {
 	}
 }
 
-// split partitions pop by membership flags, preserving order.
+// split partitions pop by membership flags, preserving order, into freshly
+// allocated slices. Hot paths use Solver.splitScratch; this stays for the
+// cold callers (the Nash enumerator) that hold both halves across nested
+// solves.
 func split(pop traffic.Population, premium []bool) (ordinary, prem traffic.Population) {
 	for i := range pop {
 		if premium[i] {
@@ -523,15 +593,53 @@ func split(pop traffic.Population, premium []bool) (ordinary, prem traffic.Popul
 	return ordinary, prem
 }
 
-// partitionKey encodes a membership vector compactly for cycle detection.
-func partitionKey(premium []bool) string {
-	b := make([]byte, (len(premium)+7)/8)
+// partitionSet tracks the class partitions the dynamics have visited, for
+// cycle detection. Membership bits are packed into a reused buffer and
+// hashed with 64-bit FNV-1a; the packed key is stored per hash bucket and
+// compared on lookup, so a hash collision can never report a phantom cycle
+// (a false positive would spuriously shrink the phase-1 mover cap or widen
+// the indifference band). Revisit checks allocate nothing; only the first
+// visit of a partition stores a copy of its packed key.
+type partitionSet struct {
+	m   map[uint64][][]byte
+	buf []byte
+}
+
+// reset empties the set.
+func (ps *partitionSet) reset() {
+	if ps.m == nil || len(ps.m) > 0 {
+		ps.m = make(map[uint64][][]byte, 64)
+	}
+}
+
+// add records the partition and reports whether it was already present.
+func (ps *partitionSet) add(premium []bool) bool {
+	n := (len(premium) + 7) / 8
+	if cap(ps.buf) < n {
+		ps.buf = make([]byte, n)
+	}
+	b := ps.buf[:n]
+	for i := range b {
+		b[i] = 0
+	}
 	for i, p := range premium {
 		if p {
 			b[i/8] |= 1 << (i % 8)
 		}
 	}
-	return string(b)
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	for _, k := range ps.m[h] {
+		if bytes.Equal(k, b) {
+			return true
+		}
+	}
+	ps.m[h] = append(ps.m[h], append([]byte(nil), b...))
+	return false
 }
 
 // VerifyCompetitive counts the CPs whose class choice violates the
@@ -550,7 +658,7 @@ func (s *Solver) VerifyCompetitive(eq *ClassEquilibrium, eps float64) int {
 	}
 	capO := (1 - eq.Strategy.Kappa) * eq.Nu
 	capP := eq.Strategy.Kappa * eq.Nu
-	o, p := split(eq.Pop, eq.InPremium)
+	o, p := s.splitScratch(eq.Pop, eq.InPremium)
 	violations := 0
 	for i := range eq.Pop {
 		cp := &eq.Pop[i]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/netecon-sim/publicoption/internal/numeric"
 	"github.com/netecon-sim/publicoption/internal/traffic"
@@ -283,16 +284,25 @@ func (mk *Market) SolveMarket(isps []ISP) *MarketOutcome {
 
 // shareGrid returns the market-share sample points for SolveMarket:
 // geometric spacing below 0.1 (where ν and hence Φ change fastest) and
-// linear spacing above.
+// linear spacing above. The grid is deterministic, so it is built once and
+// shared; callers must treat it as read-only.
 func shareGrid() []float64 {
-	var grid []float64
-	m := 1e-4
-	for m < 0.1 {
-		grid = append(grid, m)
-		m *= 1.35
-	}
-	for _, m := range numeric.Linspace(0.1, 1, shareCurvePoints-len(grid)) {
-		grid = append(grid, m)
-	}
-	return grid
+	shareGridOnce.Do(func() {
+		var grid []float64
+		m := 1e-4
+		for m < 0.1 {
+			grid = append(grid, m)
+			m *= 1.35
+		}
+		for _, m := range numeric.Linspace(0.1, 1, shareCurvePoints-len(grid)) {
+			grid = append(grid, m)
+		}
+		shareGridCache = grid
+	})
+	return shareGridCache
 }
+
+var (
+	shareGridOnce  sync.Once
+	shareGridCache []float64
+)

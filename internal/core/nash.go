@@ -11,18 +11,19 @@ import (
 // premium (including CP i's own congestion externality — the Nash
 // counterfactual of Lemma 2, as opposed to the throughput-taking estimate).
 func (s *Solver) nashUtility(strategy Strategy, nu float64, pop traffic.Population, premium []bool, i int, joinPremium bool) float64 {
+	s.kernels()
 	old := premium[i]
 	premium[i] = joinPremium
-	o, p := split(pop, premium)
+	o, p := s.splitScratch(pop, premium)
 	premium[i] = old
 
 	cp := &pop[i]
 	if joinPremium {
-		res := alloc.Solve(s.Alloc, strategy.Kappa*nu, p)
+		res := s.wsP.Solve(strategy.Kappa*nu, p)
 		theta := thetaOf(res, cp.Name)
 		return (cp.V - strategy.C) * cp.PerCapitaRate(theta)
 	}
-	res := alloc.Solve(s.Alloc, (1-strategy.Kappa)*nu, o)
+	res := s.wsO.Solve((1-strategy.Kappa)*nu, o)
 	theta := thetaOf(res, cp.Name)
 	return cp.V * cp.PerCapitaRate(theta)
 }

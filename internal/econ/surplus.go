@@ -19,12 +19,16 @@ import (
 // Phi returns the per-capita consumer surplus (Eq. 2) of a rate equilibrium:
 //
 //	Φ = Σ_i φ_i · α_i · d_i(θ_i) · θ_i
+//
+// The sum streams through a Kahan accumulator: Phi sits on the market
+// solvers' hot path (one evaluation per migration-bisection iteration), so
+// it must not allocate.
 func Phi(res *alloc.Result) float64 {
-	terms := make([]float64, len(res.Theta))
+	var k numeric.Kahan
 	for i := range res.Theta {
-		terms[i] = res.Pop[i].Phi * res.PerCapitaRate(i)
+		k.Add(res.Pop[i].Phi * res.PerCapitaRate(i))
 	}
-	return numeric.Sum(terms)
+	return k.Value()
 }
 
 // PhiAt solves the rate equilibrium of (ν, pop) under mechanism a and
@@ -47,13 +51,11 @@ func MaxPhi(pop traffic.Population) float64 {
 
 // Revenue returns the per-capita ISP surplus Ψ = c · Σ_i α_i·d_i(θ_i)·θ_i of
 // a premium-class equilibrium priced at c: res must be the equilibrium of
-// the premium class's population on the premium class's capacity.
+// the premium class's population on the premium class's capacity. Like
+// Aggregate and Phi it is called per finalized cell, so the compensated
+// sum runs inline without allocating.
 func Revenue(res *alloc.Result, c float64) float64 {
-	terms := make([]float64, len(res.Theta))
-	for i := range res.Theta {
-		terms[i] = res.PerCapitaRate(i)
-	}
-	return c * numeric.Sum(terms)
+	return c * res.Aggregate()
 }
 
 // CPUtilityPerCapita returns u_i/M (Eq. 4) for a CP achieving per-user

@@ -5,18 +5,34 @@ import (
 	"sort"
 )
 
+// Kahan is a zero-allocation compensated-summation accumulator: the
+// streaming form of Sum for hot paths that must not build a slice of terms
+// (equilibrium aggregates, surplus metrics). The zero value is ready to
+// use.
+type Kahan struct {
+	sum, comp float64
+}
+
+// Add folds x into the compensated sum.
+func (k *Kahan) Add(x float64) {
+	y := x - k.comp
+	t := k.sum + y
+	k.comp = (t - k.sum) - y
+	k.sum = t
+}
+
+// Value returns the compensated sum so far.
+func (k *Kahan) Value() float64 { return k.sum }
+
 // Sum returns the Kahan-compensated sum of xs. Compensated summation keeps
 // the per-capita surplus aggregations over 1000 CPs accurate enough that
 // equilibrium comparisons at tolerance 1e-9 are meaningful.
 func Sum(xs []float64) float64 {
-	var sum, comp float64
+	var k Kahan
 	for _, x := range xs {
-		y := x - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
+		k.Add(x)
 	}
-	return sum
+	return k.Value()
 }
 
 // Dot returns the Kahan-compensated dot product of a and b. It panics if the
@@ -25,14 +41,11 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("numeric: Dot called with mismatched lengths")
 	}
-	var sum, comp float64
+	var k Kahan
 	for i := range a {
-		y := a[i]*b[i] - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
+		k.Add(a[i] * b[i])
 	}
-	return sum
+	return k.Value()
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.

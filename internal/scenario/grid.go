@@ -140,7 +140,8 @@ func (j *GridJob) NewGrid() *sweep.Grid {
 	return sweep.NewGrid(j.scenario.Title, j.XAxis, j.YAxis, j.Xs, j.Ys, j.Layers)
 }
 
-// GridWorker owns one warm-started solver. Workers are not safe for
+// GridWorker owns one warm-started solver (and, through it, the reusable
+// allocation-free equilibrium workspaces). Workers are not safe for
 // concurrent use; create one per goroutine with NewWorker and feed it cells
 // in column order within a row to get the warm-start benefit.
 type GridWorker struct {

@@ -3,11 +3,13 @@
 // export, and two small parallel runners.
 //
 // Concurrency note: the game solvers in internal/core keep warm-start state
+// (partition warm starts plus their alloc.Workspace equilibrium kernels)
 // and are not safe for concurrent use. Sweeps along a single curve are
 // sequential by design (each point warm-starts the next); parallelism is
 // applied across independent curves via RunParallel, with one solver per
 // task. 2-D grids parallelize across rows via the work-stealing RunRows,
-// with one solver per worker and warm starts along each row.
+// with one solver — and therefore one set of workspaces — per worker and
+// warm starts along each row.
 package sweep
 
 import (

@@ -74,6 +74,11 @@ type (
 	PerCPMaxMin = alloc.PerCPMaxMin
 	// Equilibrium is a rate equilibrium (Theorem 1).
 	Equilibrium = alloc.Result
+	// EquilibriumWorkspace is the reusable, allocation-free equilibrium
+	// kernel: it owns its scratch buffers and warm-starts successive solves
+	// from the previous level. Results it returns are pooled; Clone them to
+	// retain. Create one per goroutine with NewEquilibriumWorkspace.
+	EquilibriumWorkspace = alloc.Workspace
 
 	// Strategy is an ISP differentiation strategy s = (κ, c).
 	Strategy = core.Strategy
@@ -149,6 +154,15 @@ func RateEquilibrium(nu float64, pop Population) *Equilibrium {
 // allocation mechanism.
 func RateEquilibriumUnder(a Allocator, nu float64, pop Population) *Equilibrium {
 	return alloc.Solve(a, nu, pop)
+}
+
+// NewEquilibriumWorkspace returns a reusable warm-started equilibrium
+// solver for mechanism a (nil means max-min). Sweeping callers that solve
+// many nearby systems should prefer it over RateEquilibrium: successive
+// solves reuse all scratch memory (zero heap allocations on the steady
+// state) and warm-start from the previous operating level.
+func NewEquilibriumWorkspace(a Allocator) *EquilibriumWorkspace {
+	return alloc.NewWorkspace(a)
 }
 
 // SolveSystem is the absolute-scale entry point for a system of M consumers

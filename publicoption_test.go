@@ -41,6 +41,28 @@ func TestFacadeMechanisms(t *testing.T) {
 	}
 }
 
+func TestFacadeEquilibriumWorkspace(t *testing.T) {
+	pop := publicoption.Archetypes()
+	w := publicoption.NewEquilibriumWorkspace(nil)
+	for _, nu := range []float64{500, 1000, 2000} {
+		got := w.Solve(nu, pop)
+		want := publicoption.RateEquilibrium(nu, pop)
+		if math.Abs(got.Level-want.Level) > 1e-9*math.Max(want.Level, 1) {
+			t.Fatalf("ν=%g: workspace level %v, reference %v", nu, got.Level, want.Level)
+		}
+		for i := range want.Theta {
+			if math.Abs(got.Theta[i]-want.Theta[i]) > 1e-9*math.Max(want.Theta[i], 1) {
+				t.Fatalf("ν=%g: workspace θ_%d = %v, reference %v", nu, i, got.Theta[i], want.Theta[i])
+			}
+		}
+	}
+	kept := w.Solve(1000, pop).Clone()
+	w.Solve(2000, pop) // rebinds the pooled result; the clone must not move
+	if ref := publicoption.RateEquilibrium(1000, pop); math.Abs(kept.Aggregate()-ref.Aggregate()) > 1e-6 {
+		t.Fatalf("cloned equilibrium drifted after workspace reuse")
+	}
+}
+
 func TestFacadePopulations(t *testing.T) {
 	if n := len(publicoption.PaperPopulation(publicoption.PhiCorrelated)); n != 1000 {
 		t.Fatalf("paper population size %d", n)
