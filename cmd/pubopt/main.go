@@ -93,6 +93,8 @@ func run(args []string) error {
 		return gridCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
+	case "validate":
+		return validateCmd(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
 	case "help", "-h", "--help":
@@ -119,6 +121,9 @@ commands:
                             equilibrium cache (see docs/SERVICE.md)
   verify [seed]             run the theorem battery (Axioms 1-4, Theorems
                             1-5, Lemma 4, the headline ranking, Assumption 2)
+  validate <scenario ...>   replay solved equilibria through the packet
+                            simulator and check fluid/packet agreement
+                            (Tier-2; see 'pubopt validate -h')
 
 flags for run:
   -format chart|text|csv    output format to stdout (default chart)

@@ -57,6 +57,17 @@ func TestRunArgumentErrors(t *testing.T) {
 		{name: "scenario run override without ensemble", args: []string{"scenario", "run", "--name", "archetypes-capacity", "-seed", "7"}, wantErr: "has no ensemble seed"},
 		{name: "scenario run missing json file", args: []string{"scenario", "run", "--json", "/no/such/file.json"}, wantErr: "no such file"},
 
+		{name: "verify bad seed", args: []string{"verify", "12abc"}, wantErr: `bad seed "12abc"`},
+		{name: "verify negative seed", args: []string{"verify", "-5"}, wantErr: `bad seed "-5"`},
+		{name: "verify hex seed", args: []string{"verify", "0x10"}, wantErr: `bad seed "0x10"`},
+
+		{name: "validate without scenarios", args: []string{"validate"}, wantErr: "scenario names or -all"},
+		{name: "validate names and -all", args: []string{"validate", "neutral-baseline", "-all"}, wantErr: "scenario names or -all"},
+		{name: "validate unknown scenario", args: []string{"validate", "no-such"}, wantErr: `unknown scenario "no-such"`},
+		{name: "validate bad format", args: []string{"validate", "neutral-baseline", "-format", "bogus"}, wantErr: `unknown format "bogus"`},
+		{name: "validate bad flag", args: []string{"validate", "neutral-baseline", "-bogus"}, usage: true},
+		{name: "validate help flag", args: []string{"validate", "-h"}, wantHelp: true},
+
 		{name: "serve bad flag", args: []string{"serve", "-bogus"}, usage: true},
 		{name: "serve trailing argument", args: []string{"serve", "extra"}, usage: true},
 		{name: "serve negative workers", args: []string{"serve", "-workers", "-1"}, usage: true},
@@ -163,6 +174,39 @@ func TestRunExperimentWritesCSVOut(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(b), "series,") {
 		t.Fatalf("CSV does not start with the long-form header: %q", string(b[:min(40, len(b))]))
+	}
+}
+
+// TestValidateWritesReport drives the Tier-2 harness end-to-end from the
+// CLI on a tiny sample and checks the verdict CSV lands on disk. The
+// command returns an error whenever a verdict fails, so a nil error here
+// also asserts fluid/packet agreement.
+func TestValidateWritesReport(t *testing.T) {
+	quiet(t)
+	out := filepath.Join(t.TempDir(), "verdicts.csv")
+	err := run([]string{"validate", "archetypes-capacity", "-sample", "1", "-flows", "96", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("expected verdict CSV: %v", err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("verdict CSV has %d rows, want a header plus data", len(rows))
+	}
+	if got := strings.Join(rows[0], ","); got != "scenario,cell,link,cp,metric,fluid,packet,error,tolerance,pass" {
+		t.Fatalf("verdict CSV header = %q", got)
+	}
+	for _, row := range rows[1:] {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("failing verdict in report: %v", row)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"time"
 
 	"github.com/netecon-sim/publicoption/internal/alloc"
@@ -21,9 +22,13 @@ import (
 func verifyCmd(args []string) error {
 	seed := uint64(traffic.DefaultSeed)
 	if len(args) > 0 {
-		if _, err := fmt.Sscanf(args[0], "%d", &seed); err != nil {
+		// strconv, not Sscanf: "%d" stops at the first non-digit and would
+		// silently accept trailing garbage ("12abc" parsed as 12).
+		s, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
 			return fmt.Errorf("verify: bad seed %q", args[0])
 		}
+		seed = s
 	}
 	fmt.Printf("theorem battery (seed %d)\n\n", seed)
 	cfg := traffic.PaperEnsemble(traffic.PhiCorrelated)

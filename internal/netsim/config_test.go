@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigSetDefaults(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Config
+		want    Config // ignored when wantErr
+		wantErr bool
+	}{
+		{
+			name: "zero config fills every default",
+			in:   Config{Capacity: 100},
+			want: Config{
+				Capacity: 100, Buffer: 10, Step: 1e-3,
+				Warmup: 10, Measure: 20, Seed: 1, MSS: 0.1,
+			},
+		},
+		{
+			name: "explicit values survive",
+			in: Config{
+				Capacity: 50, Buffer: 2, Step: 1e-4,
+				Warmup: 1, Measure: 2, Seed: 9, Discipline: RED, MSS: 0.5,
+			},
+			want: Config{
+				Capacity: 50, Buffer: 2, Step: 1e-4,
+				Warmup: 1, Measure: 2, Seed: 9, Discipline: RED, MSS: 0.5,
+			},
+		},
+		{
+			name: "buffer and MSS scale with capacity",
+			in:   Config{Capacity: 4000},
+			want: Config{
+				Capacity: 4000, Buffer: 400, Step: 1e-3,
+				Warmup: 10, Measure: 20, Seed: 1, MSS: 4,
+			},
+		},
+		{name: "zero capacity", in: Config{}, wantErr: true},
+		{name: "negative capacity", in: Config{Capacity: -1}, wantErr: true},
+		{name: "infinite capacity", in: Config{Capacity: math.Inf(1)}, wantErr: true},
+		{name: "negative infinite capacity", in: Config{Capacity: math.Inf(-1)}, wantErr: true},
+		{name: "NaN capacity", in: Config{Capacity: math.NaN()}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.in
+			err := cfg.setDefaults()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("setDefaults(%+v) accepted an invalid capacity", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("setDefaults(%+v): %v", tc.in, err)
+			}
+			if cfg != tc.want {
+				t.Fatalf("setDefaults(%+v) = %+v, want %+v", tc.in, cfg, tc.want)
+			}
+		})
+	}
+}
+
+func TestDisciplineStringAllBranches(t *testing.T) {
+	cases := []struct {
+		d    Discipline
+		want string
+	}{
+		{DropTail, "droptail"},
+		{RED, "red"},
+		{Discipline(7), "Discipline(7)"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("Discipline(%d).String() = %q, want %q", int(tc.d), got, tc.want)
+		}
+	}
+}

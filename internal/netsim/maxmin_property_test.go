@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/alloc"
+	"github.com/netecon-sim/publicoption/internal/demand"
+	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/traffic"
+)
+
+// randomInstance draws a small capped-flow instance: n flows with caps in
+// [5, 60) and a capacity that leaves the link either congested or not.
+func randomInstance(rng *numeric.RNG) (capacity float64, caps []float64) {
+	n := 3 + rng.Intn(6) // 3..8 flows
+	caps = make([]float64, n)
+	var sum float64
+	for i := range caps {
+		caps[i] = rng.Uniform(5, 60)
+		sum += caps[i]
+	}
+	// Half the draws congested (capacity below the cap sum), half not.
+	capacity = rng.Uniform(0.3, 1.4) * sum
+	return capacity, caps
+}
+
+// TestMaxMinRatesMatchesAllocSolve pins the two independent max-min
+// implementations — the simulator's per-flow water-fill (MaxMinRates) and
+// the equilibrium kernel's Theorem 1 solve (alloc.Solve) — to each other on
+// randomized instances. A unit-α, constant-demand population of M = 1
+// consumer fields exactly one flow per CP, so the kernel's per-CP θ profile
+// IS the per-flow max-min allocation; the two must agree to numerical
+// precision, not just within simulation noise.
+func TestMaxMinRatesMatchesAllocSolve(t *testing.T) {
+	rng := numeric.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		capacity, caps := randomInstance(rng)
+		pop := make(traffic.Population, len(caps))
+		for i, c := range caps {
+			pop[i] = traffic.CP{
+				Name: fmt.Sprintf("cp%d", i), Alpha: 1, ThetaHat: c,
+				Curve: demand.Constant{},
+			}
+		}
+		want := MaxMinRates(capacity, caps)
+		got := alloc.Solve(alloc.MaxMin{}, capacity, pop)
+		for i := range caps {
+			if math.Abs(got.Theta[i]-want[i]) > 1e-9*(1+want[i]) {
+				t.Fatalf("trial %d (capacity %.6g, caps %v): alloc θ_%d = %.12g, water-fill %.12g",
+					trial, capacity, caps, i, got.Theta[i], want[i])
+			}
+		}
+		if total, wantTotal := sum(want), math.Min(capacity, sum(caps)); math.Abs(total-wantTotal) > 1e-6*(1+wantTotal) {
+			t.Fatalf("trial %d: water-fill delivers %.12g, work conservation wants %.12g", trial, total, wantTotal)
+		}
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestSimulatedMaxMinMatchesSolver closes the loop at the packet level on a
+// few seeded random instances: the converged AIMD allocation must land near
+// the kernel's θ profile. Tolerances are loose (this is stochastic
+// dynamics, with short windows to keep the test fast), but tight enough to
+// fail if the simulator converged to a different fairness point — e.g.
+// proportional instead of max-min sharing of a capped mix.
+func TestSimulatedMaxMinMatchesSolver(t *testing.T) {
+	rng := numeric.NewRNG(11)
+	for trial := 0; trial < 4; trial++ {
+		capacity, caps := randomInstance(rng)
+		flows := make([]Flow, len(caps))
+		for i, c := range caps {
+			flows[i] = Flow{Name: fmt.Sprintf("f%d", i), RTT: 0.05, Cap: c}
+		}
+		res, err := Run(Config{Capacity: capacity, Seed: uint64(trial + 1), Warmup: 5, Measure: 15}, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MaxMinRates(capacity, caps)
+		// Judge errors against the largest fair share, not each flow's own
+		// rate: tightly capped flows sit exactly at their cap and tiny
+		// absolute wobbles would otherwise dominate relatively.
+		var scale float64
+		for _, w := range want {
+			scale = math.Max(scale, w)
+		}
+		for i := range caps {
+			if diff := math.Abs(res.Flows[i].Rate - want[i]); diff > 0.25*scale {
+				t.Errorf("trial %d (capacity %.6g, caps %v): flow %d rate %.4g, max-min %.4g (off by %.2f×scale)",
+					trial, capacity, caps, i, res.Flows[i].Rate, want[i], diff/scale)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/alloc"
+)
+
+// ErrNoDemand is returned by PlanEquilibrium when the equilibrium has no
+// active demand to replay: every CP's demand rounds to zero flows at the
+// plan's scale (e.g. a starved class whose throughput killed all demand).
+var ErrNoDemand = errors.New("netsim: equilibrium has no active demand to replay")
+
+// PlanConfig parameterizes the fluid→packet realization of an equilibrium.
+type PlanConfig struct {
+	// TargetFlows is the approximate total flow count to realize; the
+	// consumer population M is chosen (scale invariance, Axiom 4) so the
+	// demand-weighted flow counts sum near it. Default 192.
+	TargetFlows int
+	// RTT is every flow's base round-trip time in seconds. Default 0.05.
+	RTT float64
+}
+
+// Plan is a fluid rate equilibrium realized as a finite AIMD flow
+// population at an absolute-capacity bottleneck: CP i fields
+// round(α_i·M·d_i(θ_i)) flows, each application-capped at θ̂_i.
+//
+// For a constrained link the replay capacity is Σ n_i·θ_i — work
+// conservation restated on the *discrete* flow set — so flow-count rounding
+// does not shift the water level the simulator should converge to; the
+// fluid reference per-flow rates are then exactly the equilibrium's θ_i.
+type Plan struct {
+	Flows  []Flow    // the discrete flow population
+	Owner  []int     // Owner[f] indexes the CP of flow f in the equilibrium's Pop
+	Counts []int     // flows per CP: round(α_i·M·d_i(θ_i))
+	Theta  []float64 // fluid reference per-flow rate per CP (the equilibrium θ_i)
+	// M is the consumer population the plan scaled to, Capacity the
+	// absolute link capacity µ′ of the replay, RTT the common base RTT.
+	M        float64
+	Capacity float64
+	RTT      float64
+}
+
+// PlanEquilibrium realizes the fluid equilibrium eq as a packet-level
+// replay plan. It errors on empty or zero-capacity equilibria and returns
+// ErrNoDemand when no CP's demand rounds to a single flow.
+func PlanEquilibrium(eq *alloc.Result, cfg PlanConfig) (*Plan, error) {
+	if eq == nil || len(eq.Pop) == 0 {
+		return nil, fmt.Errorf("netsim: cannot plan an empty equilibrium")
+	}
+	if len(eq.Theta) != len(eq.Pop) {
+		return nil, fmt.Errorf("netsim: equilibrium has %d θ values for %d CPs", len(eq.Theta), len(eq.Pop))
+	}
+	if !(eq.Nu > 0) || math.IsInf(eq.Nu, 0) {
+		return nil, fmt.Errorf("netsim: equilibrium capacity ν=%g, want positive finite", eq.Nu)
+	}
+	target := cfg.TargetFlows
+	if target <= 0 {
+		target = 192
+	}
+	rtt := cfg.RTT
+	if rtt <= 0 {
+		rtt = 0.05
+	}
+	// Flows per consumer: Σ α_i·d_i(θ_i). Scale invariance lets us pick M
+	// freely, so pick it to land the total flow count near the target.
+	var density float64
+	for i := range eq.Pop {
+		density += eq.Pop[i].Alpha * eq.Pop[i].DemandAt(eq.Theta[i])
+	}
+	if !(density > 0) {
+		return nil, ErrNoDemand
+	}
+	m := float64(target) / density
+	p := &Plan{
+		M:      m,
+		RTT:    rtt,
+		Counts: make([]int, len(eq.Pop)),
+		Theta:  append([]float64(nil), eq.Theta...),
+	}
+	var demandSum float64 // Σ n_i·θ_i, the discrete fluid throughput
+	for i := range eq.Pop {
+		cp := &eq.Pop[i]
+		n := int(math.Round(cp.Alpha * m * cp.DemandAt(eq.Theta[i])))
+		p.Counts[i] = n
+		demandSum += float64(n) * eq.Theta[i]
+		for k := 0; k < n; k++ {
+			p.Flows = append(p.Flows, Flow{
+				Name: fmt.Sprintf("%s/%d", cp.Name, k),
+				RTT:  rtt,
+				Cap:  cp.ThetaHat,
+			})
+			p.Owner = append(p.Owner, i)
+		}
+	}
+	if len(p.Flows) == 0 || !(demandSum > 0) {
+		return nil, ErrNoDemand
+	}
+	if eq.Constrained {
+		p.Capacity = demandSum
+	} else {
+		// Unconstrained: any capacity above the total demand yields the
+		// same fluid rates (every flow runs at its cap), so clamp the
+		// headroom to keep the simulator's quanta (MSS, buffer)
+		// proportionate to the traffic — solver-side ν can exceed demand
+		// by orders of magnitude (e.g. the market solver's ν cap).
+		p.Capacity = eq.Nu * m
+		if lim := 1.25 * demandSum; p.Capacity > lim {
+			p.Capacity = lim
+		}
+	}
+	return p, nil
+}
+
+// SimConfig returns simulator settings sized to the plan: the replay
+// capacity, the given seed, and a segment size giving a typical flow a
+// window of ~16 segments. (The Config default of Capacity/1000 starves
+// per-flow windows below one segment once flow counts reach the hundreds,
+// clamping rates at the minimum window.)
+func (p *Plan) SimConfig(seed uint64) Config {
+	cfg := Config{Capacity: p.Capacity, Seed: seed}
+	mss := p.Capacity * p.RTT / (float64(len(p.Flows)) * 16)
+	if def := p.Capacity / 1000; mss > def {
+		mss = def // few flows: the default segment size is already fine
+	}
+	cfg.MSS = mss
+	return cfg
+}
+
+// MeasureByOwner aggregates a replay's measured per-flow rates by owning
+// CP: meanRate[i] is CP i's mean per-flow delivered rate (its packet-level
+// θ_i), delivered[i] its total delivered rate. CPs with no flows get zero.
+func (p *Plan) MeasureByOwner(res *Result) (meanRate, delivered []float64, err error) {
+	if res == nil || len(res.Flows) != len(p.Flows) {
+		return nil, nil, fmt.Errorf("netsim: result has %d flows, plan has %d", len(res.Flows), len(p.Flows))
+	}
+	n := len(p.Counts)
+	meanRate = make([]float64, n)
+	delivered = make([]float64, n)
+	for f := range res.Flows {
+		delivered[p.Owner[f]] += res.Flows[f].Rate
+	}
+	for i, c := range p.Counts {
+		if c > 0 {
+			meanRate[i] = delivered[i] / float64(c)
+		}
+	}
+	return meanRate, delivered, nil
+}

@@ -204,6 +204,23 @@ func (s *Scenario) solvePoint(mk *core.Market, x float64) point {
 // in mk.NuBar before the call, so it is skipped here. 1-D sweeps pass one
 // assignment; grid cells pass both of theirs.
 func (s *Scenario) solveAt(mk *core.Market, axes []axisValue) point {
+	pt, _ := s.solveAtEx(mk, axes)
+	return pt
+}
+
+// providerEq pairs one solved provider with its consumer market share and
+// the class equilibrium behind its metrics — the sampler's handle on the
+// actual per-link rate equilibria, which the metric tables flatten away.
+type providerEq struct {
+	name  string
+	share float64
+	eq    *core.ClassEquilibrium
+}
+
+// solveAtEx is solveAt returning, alongside the metric point, the solved
+// per-provider class equilibria (safe to retain: the market solvers clone
+// equilibria out of their workspaces before publishing them).
+func (s *Scenario) solveAtEx(mk *core.Market, axes []axisValue) (point, []providerEq) {
 	isps := make([]core.ISP, len(s.Providers))
 	for i, p := range s.Providers {
 		st := core.Strategy{Kappa: p.Kappa, C: p.C}
@@ -229,7 +246,12 @@ func (s *Scenario) solveAt(mk *core.Market, axes []axisValue) point {
 		}
 	}
 	if subsidized {
-		return subsidizedPoint(mk, isps, s.Providers, sigma0)
+		out := solveSubsidized(mk, isps, s.Providers, sigma0)
+		eqs := make([]providerEq, len(out.ISPs))
+		for k := range out.ISPs {
+			eqs[k] = providerEq{out.ISPs[k].Name, out.Shares[k], out.Eqs[k]}
+		}
+		return subsidizedPoint(out), eqs
 	}
 
 	var out *core.MarketOutcome
@@ -245,7 +267,11 @@ func (s *Scenario) solveAt(mk *core.Market, axes []axisValue) point {
 	} else {
 		out = mk.SolveMarket(isps)
 	}
-	return outcomePoint(out)
+	eqs := make([]providerEq, len(out.ISPs))
+	for k := range out.ISPs {
+		eqs[k] = providerEq{out.ISPs[k].Name, out.Shares[k], out.Eqs[k]}
+	}
+	return outcomePoint(out), eqs
 }
 
 func bestResponder(providers []ProviderSpec) int {
@@ -273,12 +299,16 @@ func outcomePoint(out *core.MarketOutcome) point {
 	return p
 }
 
-// subsidizedPoint solves the two-ISP rebate game (§VI extension) with the
+// solveSubsidized solves the two-ISP rebate game (§VI extension) with the
 // first provider rebating fraction sigma of premium revenue.
-func subsidizedPoint(mk *core.Market, isps []core.ISP, providers []ProviderSpec, sigma0 float64) point {
+func solveSubsidized(mk *core.Market, isps []core.ISP, providers []ProviderSpec, sigma0 float64) *core.SubsidizedOutcome {
 	a := core.SubsidizedISP{ISP: isps[0], Sigma: sigma0}
 	b := core.SubsidizedISP{ISP: isps[1], Sigma: providers[1].Sigma}
-	out := mk.SolveSubsidizedDuopoly(a, b)
+	return mk.SolveSubsidizedDuopoly(a, b)
+}
+
+// subsidizedPoint flattens a rebate-game outcome into a metric point.
+func subsidizedPoint(out *core.SubsidizedOutcome) point {
 	p := point{
 		phi:   out.GrossPhi,
 		psi:   make([]float64, len(out.ISPs)),
@@ -309,19 +339,7 @@ func (s *Scenario) runRegimes(opt RunOptions) ([]*sweep.Table, error) {
 	if len(regimes) == 0 {
 		regimes = allRegimes
 	}
-	rc := *s.Regulation
-	if rc.KappaCap <= 0 || rc.KappaCap > 1 {
-		rc.KappaCap = 0.5
-	}
-	if rc.PriceCap <= 0 {
-		rc.PriceCap = 0.3
-	}
-	if rc.POShare <= 0 || rc.POShare >= 1 {
-		rc.POShare = 0.5
-	}
-	if rc.GridN <= 0 {
-		rc.GridN = 30
-	}
+	rc := s.Regulation.withDefaults()
 
 	// One task per regime: each curve owns its solver and sweeps capacity
 	// sequentially, warm-starting point to point.
@@ -369,44 +387,91 @@ func (s *Scenario) runRegimes(opt RunOptions) ([]*sweep.Table, error) {
 	return tables, nil
 }
 
-// regimeCurve sweeps one regulatory regime across capacities with its own
-// warm-started solver (mirroring core.CompareRegimes one regime at a time).
-func regimeCurve(regime string, nus []float64, pop traffic.Population, rc RegulationSpec) []point {
+// withDefaults fills unset regulation knobs with the registry defaults, so
+// the runner and the equilibrium sampler resolve regimes identically.
+func (r RegulationSpec) withDefaults() RegulationSpec {
+	if r.KappaCap <= 0 || r.KappaCap > 1 {
+		r.KappaCap = 0.5
+	}
+	if r.PriceCap <= 0 {
+		r.PriceCap = 0.3
+	}
+	if r.POShare <= 0 || r.POShare >= 1 {
+		r.POShare = 0.5
+	}
+	if r.GridN <= 0 {
+		r.GridN = 30
+	}
+	return r
+}
+
+// regimeSolver owns the warm-started solvers one regime curve reuses across
+// capacities (mirroring core.CompareRegimes one regime at a time).
+type regimeSolver struct {
+	solver *core.Solver
+	mono   *core.Monopoly
+	pop    traffic.Population
+	rc     RegulationSpec
+}
+
+func newRegimeSolver(pop traffic.Population, rc RegulationSpec) *regimeSolver {
 	solver := core.NewSolver(nil)
-	mono := core.NewMonopoly(solver)
+	return &regimeSolver{solver: solver, mono: core.NewMonopoly(solver), pop: pop, rc: rc}
+}
+
+// solveAt solves one regulatory regime at capacity nu, returning the metric
+// point and the class equilibria of the regime's implied market structure
+// (the regulated monopolist, or the incumbent/Public Option pair).
+func (rs *regimeSolver) solveAt(regime string, nu float64) (point, []providerEq) {
+	var phi, psi, share, util float64
+	share = 1
+	var eqs []providerEq
+	switch regime {
+	case "unregulated":
+		_, eq := rs.mono.OptimalStrategy(1, nu, rs.pop, 10, rs.rc.GridN)
+		phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
+		eqs = []providerEq{{regime, 1, eq}}
+	case "kappa-cap":
+		_, eq := rs.mono.OptimalPrice(rs.rc.KappaCap, 1, nu, rs.pop, rs.rc.GridN)
+		phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
+		eqs = []providerEq{{regime, 1, eq}}
+	case "price-cap":
+		_, eq := rs.mono.OptimalPrice(1, rs.rc.PriceCap, nu, rs.pop, rs.rc.GridN)
+		phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
+		eqs = []providerEq{{regime, 1, eq}}
+	case "neutral":
+		eq := rs.solver.Competitive(core.PublicOption, nu, rs.pop)
+		phi, psi, util = eq.Phi(), 0, eq.Utilization()
+		eqs = []providerEq{{regime, 1, eq}}
+	case "public-option":
+		mk := core.NewMarket(rs.solver, rs.pop, nu)
+		mk.MigrationTol = 1e-6
+		isps := []core.ISP{
+			{Name: "incumbent", Gamma: 1 - rs.rc.POShare, Strategy: core.Strategy{Kappa: 1, C: 0.5}},
+			{Name: "public-option", Gamma: rs.rc.POShare, Strategy: core.PublicOption},
+		}
+		_, o, _ := mk.BestResponse(isps, 0, bestResponseGrid())
+		phi = o.Phi
+		psi = o.Eqs[0].Psi() * o.Shares[0]
+		share = o.Shares[0]
+		util = o.Eqs[0].Utilization()
+		eqs = []providerEq{
+			{regime + ":" + o.ISPs[0].Name, o.Shares[0], o.Eqs[0]},
+			{regime + ":" + o.ISPs[1].Name, o.Shares[1], o.Eqs[1]},
+		}
+	default:
+		panic("scenario: unknown regime " + regime) // Validate rejects these
+	}
+	return point{phi: phi, psi: []float64{psi}, share: []float64{share}, util: []float64{util}}, eqs
+}
+
+// regimeCurve sweeps one regulatory regime across capacities with its own
+// warm-started solver.
+func regimeCurve(regime string, nus []float64, pop traffic.Population, rc RegulationSpec) []point {
+	rs := newRegimeSolver(pop, rc)
 	out := make([]point, len(nus))
 	for i, nu := range nus {
-		var phi, psi, share, util float64
-		share = 1
-		switch regime {
-		case "unregulated":
-			_, eq := mono.OptimalStrategy(1, nu, pop, 10, rc.GridN)
-			phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
-		case "kappa-cap":
-			_, eq := mono.OptimalPrice(rc.KappaCap, 1, nu, pop, rc.GridN)
-			phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
-		case "price-cap":
-			_, eq := mono.OptimalPrice(1, rc.PriceCap, nu, pop, rc.GridN)
-			phi, psi, util = eq.Phi(), eq.Psi(), eq.Utilization()
-		case "neutral":
-			eq := solver.Competitive(core.PublicOption, nu, pop)
-			phi, psi, util = eq.Phi(), 0, eq.Utilization()
-		case "public-option":
-			mk := core.NewMarket(solver, pop, nu)
-			mk.MigrationTol = 1e-6
-			isps := []core.ISP{
-				{Name: "incumbent", Gamma: 1 - rc.POShare, Strategy: core.Strategy{Kappa: 1, C: 0.5}},
-				{Name: "public-option", Gamma: rc.POShare, Strategy: core.PublicOption},
-			}
-			_, o, _ := mk.BestResponse(isps, 0, bestResponseGrid())
-			phi = o.Phi
-			psi = o.Eqs[0].Psi() * o.Shares[0]
-			share = o.Shares[0]
-			util = o.Eqs[0].Utilization()
-		default:
-			panic("scenario: unknown regime " + regime) // Validate rejects these
-		}
-		out[i] = point{phi: phi, psi: []float64{psi}, share: []float64{share}, util: []float64{util}}
+		out[i], _ = rs.solveAt(regime, nu)
 	}
 	return out
 }

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/netecon-sim/publicoption/internal/alloc"
+	"github.com/netecon-sim/publicoption/internal/core"
+	"github.com/netecon-sim/publicoption/internal/sweep"
+)
+
+// SampleOptions controls equilibrium sampling (SampleEquilibria).
+type SampleOptions struct {
+	// MaxCells bounds how many sweep positions are solved; 0 means 3. The
+	// subset is a deterministic function of (cell count, MaxCells, Seed).
+	MaxCells int
+	// Seed drives the cell subsample; 0 means 1.
+	Seed uint64
+}
+
+// LinkEquilibrium is one bottleneck-link rate equilibrium inside a solved
+// scenario cell: a provider's ordinary or premium class, with the fluid
+// per-capita equilibrium (alloc.Result) that class settled into. It is the
+// replayable unit of packet-level validation — everything a simulator needs
+// (class capacity ν, sub-population, θ profile) in one detached value.
+type LinkEquilibrium struct {
+	// Scenario is the scenario name, Cell the sweep position it was solved
+	// at ("nu=2000" or "poshare=0.3,nu=0.132").
+	Scenario string
+	Cell     string
+	// Provider labels the link's owner: the ISP name, the regime name for
+	// regulation scenarios, or regime:isp for the public-option regime.
+	Provider string
+	// Class is "ordinary" or "premium".
+	Class string
+	// Share is the provider's consumer market share at this cell.
+	Share float64
+	// Eq is the class rate equilibrium, cloned and detached from all solver
+	// state. Its Nu is the class per-capita capacity over the provider's
+	// subscribers; Pop is the class sub-population.
+	Eq *alloc.Result
+}
+
+// Link renders the provider/class label used in reports.
+func (l *LinkEquilibrium) Link() string { return l.Provider + "/" + l.Class }
+
+// sampleCell is one solvable sweep position: the absolute per-capita
+// capacity plus the strategic axis assignments of the cell.
+type sampleCell struct {
+	nu    float64
+	axes  []axisValue
+	label string
+}
+
+// SampleEquilibria solves a deterministic subsample of the scenario's sweep
+// cells and returns every non-empty class equilibrium found there — the
+// equilibrium sampling hook behind internal/validate and `pubopt validate`.
+//
+// All scenario shapes that keep per-CP equilibria are supported: 1-D
+// sweeps, 2-D grids, best-response and rebate games, and regime
+// comparisons (each listed regime contributes its own links per sampled
+// capacity). Batched populations are rejected: their streaming water-fill
+// never materializes a per-CP equilibrium to replay.
+func (s *Scenario) SampleEquilibria(opt SampleOptions) ([]LinkEquilibrium, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Population.Batch > 0 {
+		return nil, fmt.Errorf("scenario %q: batched populations stream their water-fill and keep no per-CP equilibrium to sample", s.Name)
+	}
+	maxCells := opt.MaxCells
+	if maxCells <= 0 {
+		maxCells = 3
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	pop, err := s.Population.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	cells := s.sampleCells(pop.TotalUnconstrainedPerCapita())
+	picked := sweep.SampleIndices(len(cells), maxCells, seed)
+
+	var out []LinkEquilibrium
+	emit := func(c sampleCell, name string, share float64, eq *core.ClassEquilibrium) {
+		if eq == nil {
+			return
+		}
+		for _, cl := range []struct {
+			name string
+			res  *alloc.Result
+		}{{"ordinary", eq.Ordinary}, {"premium", eq.Premium}} {
+			if cl.res == nil || len(cl.res.Pop) == 0 || !(cl.res.Nu > 0) {
+				continue // empty class, or a zero-capacity class (κ = 0 or 1)
+			}
+			out = append(out, LinkEquilibrium{
+				Scenario: s.Name, Cell: c.label, Provider: name,
+				Class: cl.name, Share: share, Eq: cl.res.Clone(),
+			})
+		}
+	}
+
+	if s.Regulation != nil {
+		rc := s.Regulation.withDefaults()
+		regimes := rc.Regimes
+		if len(regimes) == 0 {
+			regimes = allRegimes
+		}
+		// One warm solver per regime, capacities in ascending order — the
+		// same traversal shape as runRegimes.
+		for _, regime := range regimes {
+			rs := newRegimeSolver(pop, rc)
+			for _, ci := range picked {
+				c := cells[ci]
+				_, eqs := rs.solveAt(regime, c.nu)
+				for _, pe := range eqs {
+					emit(c, pe.name, pe.share, pe.eq)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	solver := core.NewSolver(nil)
+	var mk *core.Market
+	for _, ci := range picked {
+		c := cells[ci]
+		if mk == nil {
+			mk = core.NewMarket(solver, pop, c.nu)
+			mk.MigrationTol = 1e-7
+		} else {
+			mk.NuBar = c.nu // keeps the per-ISP warm partitions
+		}
+		_, eqs := s.solveAtEx(mk, c.axes)
+		for _, pe := range eqs {
+			emit(c, pe.name, pe.share, pe.eq)
+		}
+	}
+	return out, nil
+}
+
+// sampleCells enumerates the scenario's sweep positions — one per 1-D sweep
+// point, one per 2-D grid cell in row-major order — with every ν resolved
+// to absolute model units (mirroring runMarket and CompileGrid).
+func (s *Scenario) sampleCells(sat float64) []sampleCell {
+	label := func(axis string, v float64) string { return fmt.Sprintf("%s=%.6g", axis, v) }
+	fixedNu := s.Sweep.Nu
+	if s.Sweep.OfSaturation && !s.sweepsAxis(AxisNu) {
+		fixedNu *= sat
+	}
+	xs := s.Sweep.XValues()
+	if s.Sweep.Axis == AxisNu {
+		xs = s.resolveNu(xs, sat)
+	}
+	if !s.IsGrid() {
+		cells := make([]sampleCell, len(xs))
+		for i, x := range xs {
+			c := sampleCell{nu: fixedNu, label: label(s.Sweep.Axis, x)}
+			if s.Sweep.Axis == AxisNu {
+				c.nu = x
+			} else {
+				c.axes = []axisValue{{s.Sweep.Axis, x}}
+			}
+			cells[i] = c
+		}
+		return cells
+	}
+	ys := s.Sweep.Grid.RowValues()
+	if s.Sweep.Grid.Axis == AxisNu {
+		ys = s.resolveNu(ys, sat)
+	}
+	cells := make([]sampleCell, 0, len(xs)*len(ys))
+	for _, y := range ys {
+		for _, x := range xs {
+			c := sampleCell{nu: fixedNu, label: label(s.Sweep.Axis, x) + "," + label(s.Sweep.Grid.Axis, y)}
+			if s.Sweep.Axis == AxisNu {
+				c.nu = x
+			} else {
+				c.axes = append(c.axes, axisValue{s.Sweep.Axis, x})
+			}
+			if s.Sweep.Grid.Axis == AxisNu {
+				c.nu = y
+			} else {
+				c.axes = append(c.axes, axisValue{s.Sweep.Grid.Axis, y})
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}

@@ -1,0 +1,28 @@
+package sweep
+
+import (
+	"sort"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// SampleIndices deterministically picks min(k, n) distinct indices from
+// [0, n), returned in ascending order. The same (n, k, seed) always yields
+// the same subset, so samplers built on it (spot-checking sweep cells,
+// subsampling grid rows) are reproducible; ascending order preserves the
+// warm-start friendliness of the original traversal.
+func SampleIndices(n, k int, seed uint64) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := numeric.NewRNG(seed).Perm(n)[:k]
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package validate
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the reports' verdicts in long form — one row per
+// comparison, trivially loadable by any analysis tool. Skipped links carry
+// no verdicts and do not appear; the text rendering reports them.
+func WriteCSV(w io.Writer, reports ...*Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "cell", "link", "cp", "metric", "fluid", "packet", "error", "tolerance", "pass"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("validate: writing CSV header: %w", err)
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, r := range reports {
+		for i := range r.Samples {
+			for _, v := range r.Samples[i].Verdicts {
+				row := []string{
+					v.Scenario, v.Cell, v.Link, v.CP, v.Metric,
+					g(v.Fluid), g(v.Packet), g(v.Err), g(v.Tol),
+					strconv.FormatBool(v.Pass),
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("validate: writing CSV row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("validate: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON emits the reports as an indented JSON array.
+func WriteJSON(w io.Writer, reports ...*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		return fmt.Errorf("validate: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// WriteText renders one report as a human-readable summary: a one-line
+// header plus one line per link, with every failing verdict spelled out.
+func WriteText(w io.Writer, r *Report) error {
+	verdicts, failed := r.Counts()
+	links, skipped := 0, 0
+	for i := range r.Samples {
+		if r.Samples[i].Skipped != "" {
+			skipped++
+		} else {
+			links++
+		}
+	}
+	status := "PASS"
+	if failed > 0 {
+		status = fmt.Sprintf("FAIL (%d)", failed)
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %d links, %d verdicts, %s\n", r.Scenario, links, verdicts, status); err != nil {
+		return err
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if s.Skipped != "" {
+			fmt.Fprintf(w, "   skip %-28s %-22s %s\n", s.Cell, s.Link, s.Skipped)
+			continue
+		}
+		worst := 0.0 // worst error as a fraction of its tolerance
+		mark := "ok  "
+		for _, v := range s.Verdicts {
+			if v.Tol > 0 && v.Err/v.Tol > worst {
+				worst = v.Err / v.Tol
+			}
+			if !v.Pass {
+				mark = "FAIL"
+			}
+		}
+		fmt.Fprintf(w, "   %s %-28s %-22s flows=%-4d cps=%-3d worst=%.0f%% of tol\n",
+			mark, s.Cell, s.Link, s.FlowCount, s.Compared, 100*worst)
+		for _, v := range s.Verdicts {
+			if !v.Pass {
+				fmt.Fprintf(w, "   FAIL %s %s: fluid=%.6g packet=%.6g err=%.3g tol=%.3g\n",
+					v.CP, v.Metric, v.Fluid, v.Packet, v.Err, v.Tol)
+			}
+		}
+	}
+	return nil
+}
