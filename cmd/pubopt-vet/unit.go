@@ -1,0 +1,202 @@
+package main
+
+// The unit-checker protocol: `go vet` hands the tool one JSON config file
+// per package unit, listing the unit's Go files and, crucially, the
+// compiled export data of every dependency. Type-checking against export
+// data makes a whole-module run cheap — no source re-typechecking of the
+// dependency graph — and is exactly how the x/tools unitchecker works;
+// this is a stdlib-only reimplementation of the subset pubopt-vet needs
+// (our analyzers neither produce nor consume cross-package facts).
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/netecon-sim/publicoption/internal/analysis"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg that this tool
+// consumes. Unknown fields are ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit and returns the process exit code:
+// 0 clean, 1 on tool/typecheck errors, 2 when findings were reported.
+func runUnit(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	// The go command requires the facts file to exist even though this
+	// suite records no facts; write it first so every exit path below
+	// leaves a cacheable unit behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pubopt-vet: no facts\n"), 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency units exist only to carry facts; nothing to do.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		PkgPath: pkg.Path(),
+		Info:    info,
+	}, analysis.Suite())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(diags) == 0 {
+		if jsonOut {
+			fmt.Println("{}")
+		}
+		return 0
+	}
+	printDiagnostics(fset, &cfg, diags, jsonOut)
+	return 2
+}
+
+// typeCheck builds the unit's *types.Package against the export data
+// listed in the config.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// The importer resolves through the config: source-level import path →
+	// canonical package path (ImportMap) → export data file (PackageFile).
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compImp := importer.ForCompiler(fset, compiler, lookup)
+	imp := mappedImporter{imp: compImp, importMap: cfg.ImportMap}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// mappedImporter canonicalizes import paths through the config's
+// ImportMap before delegating to the export-data importer.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}
+
+// jsonDiagnostic is the per-finding shape of -json output, keyed like the
+// x/tools drivers: {pkg: {analyzer: [{posn, message}]}}.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func printDiagnostics(fset *token.FileSet, cfg *vetConfig, diags []analysis.Diagnostic, jsonOut bool) {
+	if jsonOut {
+		byAnalyzer := make(map[string][]jsonDiagnostic)
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fatalf("encoding diagnostics: %v", err)
+		}
+		return
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cfg.Dir != "" && strings.HasPrefix(name, cfg.Dir+string(os.PathSeparator)) {
+			name = name[len(cfg.Dir)+1:]
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}

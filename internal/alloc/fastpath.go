@@ -66,6 +66,8 @@ const (
 )
 
 // classifyCurve maps a demand curve to its fast-path kind and parameter.
+//
+//pubopt:hotpath
 func classifyCurve(c demand.Curve) (kind uint8, param float64) {
 	switch d := c.(type) {
 	case demand.Exponential:
@@ -83,6 +85,8 @@ func classifyCurve(c demand.Curve) (kind uint8, param float64) {
 
 // demandAtKind evaluates the classified demand family at normalized
 // throughput omega ∈ (0, 1]. It replicates each family's At method exactly.
+//
+//pubopt:hotpath
 func demandAtKind(kind uint8, param, omega float64) float64 {
 	switch kind {
 	case dExponential:
@@ -101,7 +105,7 @@ func demandAtKind(kind uint8, param, omega float64) float64 {
 		if omega >= 1 {
 			return 1
 		}
-		if param == 0 {
+		if param == 0 { //pubopt:allow(floatcmp): γ=0 is the exact config sentinel for the constant curve, mirroring demand.Power
 			return 1
 		}
 		return math.Pow(omega, param)
@@ -112,6 +116,8 @@ func demandAtKind(kind uint8, param, omega float64) float64 {
 // EvalRho is CP.Rho with the demand evaluation devirtualized for the
 // built-in families: d_i(θ)·θ, the CP's per-capita throughput over its own
 // user base at achieved per-user throughput theta.
+//
+//pubopt:hotpath
 func EvalRho(cp *traffic.CP, theta float64) float64 {
 	if theta <= 0 {
 		return 0
@@ -127,6 +133,8 @@ func EvalRho(cp *traffic.CP, theta float64) float64 {
 
 // EvalPerCapitaRate is CP.PerCapitaRate through the fast demand path:
 // α_i·d_i(θ)·θ.
+//
+//pubopt:hotpath
 func EvalPerCapitaRate(cp *traffic.CP, theta float64) float64 {
 	return cp.Alpha * EvalRho(cp, theta)
 }
@@ -135,6 +143,8 @@ func EvalPerCapitaRate(cp *traffic.CP, theta float64) float64 {
 // a concrete-type dispatch replaces the interface call for MaxMin,
 // AlphaFair and PerCPMaxMin, and unknown mechanisms fall back to the
 // interface.
+//
+//pubopt:hotpath
 func EvalRate(a Allocator, level float64, cp *traffic.CP) float64 {
 	switch m := a.(type) {
 	case MaxMin:
@@ -153,6 +163,8 @@ func EvalRate(a Allocator, level float64, cp *traffic.CP) float64 {
 // AggregateAt returns the aggregate per-capita rate Σ_i α_i·d_i(θ_i)·θ_i of
 // the population at the given operating level, dispatching to the
 // mechanism's BulkAllocator fast path when it has one.
+//
+//pubopt:hotpath
 func AggregateAt(a Allocator, level float64, pop traffic.Population) float64 {
 	if b, ok := a.(BulkAllocator); ok {
 		return b.AggregateAt(level, pop)
@@ -167,6 +179,8 @@ func AggregateAt(a Allocator, level float64, pop traffic.Population) float64 {
 // RatesAt fills out[i] = RateAt(level, &pop[i]) for every CP, dispatching
 // to the mechanism's BulkAllocator fast path when it has one. out must have
 // length len(pop).
+//
+//pubopt:hotpath
 func RatesAt(a Allocator, level float64, pop traffic.Population, out []float64) {
 	if b, ok := a.(BulkAllocator); ok {
 		b.RatesAt(level, pop, out)

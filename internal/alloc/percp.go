@@ -25,6 +25,8 @@ import (
 type PerCPMaxMin struct{}
 
 // RateAt implements Allocator.
+//
+//pubopt:hotpath
 func (PerCPMaxMin) RateAt(level float64, cp *traffic.CP) float64 {
 	if level <= 0 {
 		return 0
@@ -35,6 +37,7 @@ func (PerCPMaxMin) RateAt(level float64, cp *traffic.CP) float64 {
 	}
 	// Invert θ ↦ α·d(θ)·θ at target. The function is non-decreasing and
 	// continuous (Assumption 1), hitting target somewhere in [0, θ̂].
+	//pubopt:allow(hotpathalloc): bisection callback closure; inversions run once per final RatesAt, not per root-search evaluation
 	f := func(theta float64) float64 { return cp.PerCapitaRate(theta) - target }
 	return numeric.Bisect(f, 0, cp.ThetaHat, 1e-12*cp.ThetaHat)
 }
@@ -59,6 +62,8 @@ func (PerCPMaxMin) Name() string { return "percp-maxmin" }
 // water-filled quantity itself — so the sum is closed form. This turns the
 // solver's root search from O(n·inner-bisections) per evaluation into a
 // plain O(n) sum; only the final RatesAt pays for the θ inversions, once.
+//
+//pubopt:hotpath
 func (PerCPMaxMin) AggregateAt(level float64, pop traffic.Population) float64 {
 	if level <= 0 {
 		return 0
@@ -72,6 +77,8 @@ func (PerCPMaxMin) AggregateAt(level float64, pop traffic.Population) float64 {
 
 // RatesAt implements BulkAllocator: the per-CP inversion of α·d(θ)·θ at the
 // water-filled target, with a concrete receiver.
+//
+//pubopt:hotpath
 func (p PerCPMaxMin) RatesAt(level float64, pop traffic.Population, out []float64) {
 	for i := range pop {
 		out[i] = p.RateAt(level, &pop[i])

@@ -121,6 +121,8 @@ func (w *Workspace) ensure(n int) {
 // bind flattens the population for the level-linear fast path and returns
 // the mechanism's unconstrained level (LevelHi). For non-level-linear
 // mechanisms it only records the population and asks the mechanism.
+//
+//pubopt:hotpath
 func (w *Workspace) bind(pop traffic.Population) (hi float64) {
 	w.pop = pop
 	if w.lin == nil {
@@ -138,6 +140,8 @@ func (w *Workspace) bind(pop traffic.Population) (hi float64) {
 
 // aggregateAt evaluates the aggregate per-capita rate map at level through
 // the fastest path the mechanism supports.
+//
+//pubopt:hotpath
 func (w *Workspace) aggregateAt(level float64) float64 {
 	w.evals++
 	if w.lin != nil {
@@ -156,6 +160,8 @@ func (w *Workspace) aggregateAt(level float64) float64 {
 // flatAggregate is the devirtualized inner loop: pure float arithmetic over
 // the flattened arrays, one math.Exp per exponential-demand CP, zero
 // interface calls for the built-in demand families.
+//
+//pubopt:hotpath
 func (w *Workspace) flatAggregate(level float64) float64 {
 	var sum float64
 	for i, g := range w.gain {
@@ -178,6 +184,8 @@ func (w *Workspace) flatAggregate(level float64) float64 {
 }
 
 // ratesAt fills out[i] = θ_i(level) through the fastest supported path.
+//
+//pubopt:hotpath
 func (w *Workspace) ratesAt(level float64, out []float64) {
 	if w.lin != nil {
 		for i, g := range w.gain {
@@ -203,8 +211,11 @@ func (w *Workspace) ratesAt(level float64, out []float64) {
 // Solve computes the rate equilibrium of the per-capita system (ν, pop):
 // the same map as Solve (Theorem 1), through the workspace's fast path.
 // The returned Result is pooled — see the type comment.
+//
+//pubopt:hotpath
 func (w *Workspace) Solve(nu float64, pop traffic.Population) *Result {
 	if nu < 0 || math.IsNaN(nu) {
+		//pubopt:allow(hotpathalloc): cold panic path; formatting happens only on invalid input, never per solve
 		panic(fmt.Sprintf("alloc: Workspace.Solve called with invalid ν=%g", nu))
 	}
 	n := len(pop)
@@ -238,8 +249,11 @@ func (w *Workspace) Solve(nu float64, pop traffic.Population) *Result {
 
 // SolveSystem is the absolute-scale entry point (Axiom 4 / Lemma 1):
 // Workspace.Solve at ν = µ/M. M must be positive.
+//
+//pubopt:hotpath
 func (w *Workspace) SolveSystem(m, mu float64, pop traffic.Population) *Result {
 	if !(m > 0) {
+		//pubopt:allow(hotpathalloc): cold panic path; formatting happens only on invalid input, never per solve
 		panic(fmt.Sprintf("alloc: Workspace.SolveSystem called with M=%g, want > 0", m))
 	}
 	return w.Solve(mu/m, pop)
@@ -251,6 +265,8 @@ func (w *Workspace) SolveSystem(m, mu float64, pop traffic.Population) *Result {
 // uncongested case). The endpoint values are known analytically, so a cold
 // solve starts with zero evaluations spent on the bracket; a warm solve
 // shrinks the bracket around the previous level first.
+//
+//pubopt:hotpath
 func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 	tol := relTol * hi
 	lo, flo := 0.0, -nu
@@ -265,14 +281,14 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 		// toward the other side until the sign flips. Levels move slowly
 		// along sweeps, so the first or second step usually brackets.
 		x0 := w.warmLevel
-		if w.warmHi > 0 && w.warmHi != hi {
+		if w.warmHi > 0 && w.warmHi != hi { //pubopt:allow(floatcmp): warmHi is copied from the previous solve; bitwise equality means the same level range, anything else rescales
 			// The level range rescaled (population or weights changed);
 			// carry the warm level across proportionally.
 			x0 *= hi / w.warmHi
 		}
 		if x0 > lo+tol && x0 < up-tol {
 			f0 := w.aggregateAt(x0) - nu
-			if f0 == 0 {
+			if f0 == 0 { //pubopt:allow(floatcmp): exact residual zero is the root; near-zero keeps bracketing
 				return x0
 			}
 			if f0 < 0 {
@@ -293,13 +309,13 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			}
 			for k := 0; k < 5 && up-lo > tol; k++ {
 				var x float64
-				if fup == total-nu && up == hi {
+				if fup == total-nu && up == hi { //pubopt:allow(floatcmp): tests whether the endpoint still holds its untouched initial value, an identity check on stored floats
 					// Root is above x0: probe upward from the lower end.
 					x = lo + step
 					if x >= hi {
 						break
 					}
-				} else if flo == -nu && lo == 0 {
+				} else if flo == -nu && lo == 0 { //pubopt:allow(floatcmp): same untouched-initial-value identity check for the lower end
 					// Root is below x0: probe downward from the upper end.
 					x = up - step
 					if x <= 0 {
@@ -309,7 +325,7 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 					break // both sides already tightened
 				}
 				fx := w.aggregateAt(x) - nu
-				if fx == 0 {
+				if fx == 0 { //pubopt:allow(floatcmp): exact residual zero is the root
 					return x
 				}
 				if fx < 0 {
@@ -341,7 +357,7 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			checkWidth = up - lo
 			sinceCheck = 0
 		}
-		if x == 0 {
+		if x == 0 { //pubopt:allow(floatcmp): x=0 is the exact not-yet-chosen sentinel set two branches up, never a computed level
 			x = (lo*fup - up*flo) / (fup - flo)
 			if !(x > lo && x < up) {
 				x = lo + (up-lo)/2
@@ -351,7 +367,7 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 		sinceCheck++
 		fx := w.aggregateAt(x) - nu
 		switch {
-		case fx == 0:
+		case fx == 0: //pubopt:allow(floatcmp): exact residual zero is the root
 			return x
 		case fx < 0:
 			lo, flo = x, fx

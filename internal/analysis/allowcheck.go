@@ -1,0 +1,53 @@
+package analysis
+
+import "strings"
+
+// AllowCheck validates the suppression convention itself. Every comment
+// that starts with //pubopt:allow must be the full form
+//
+//	//pubopt:allow(<analyzer>): <reason>
+//
+// with <analyzer> naming a real analyzer in the suite and a non-empty
+// reason. Near-misses (missing reason, unknown analyzer, stray spaces in
+// the directive) are flagged rather than silently ignored, so a
+// suppression can never rot into a no-op while appearing to work.
+var AllowCheck = &Analyzer{
+	Name: "allowcheck",
+	Doc:  "suppression comments must name a real analyzer and carry a reason",
+}
+
+// Run is attached in init to break the initializer cycle
+// AllowCheck → runAllowCheck → Suite → AllowCheck.
+func init() { AllowCheck.Run = runAllowCheck }
+
+func runAllowCheck(pass *Pass) error {
+	names := suiteNames()
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					pass.Reportf(c.Pos(), "malformed suppression %q; want //pubopt:allow(<analyzer>): <reason>", text)
+					continue
+				}
+				if !names[m[1]] {
+					pass.Reportf(c.Pos(), "suppression names unknown analyzer %q; known: %s", m[1], strings.Join(sortedSuiteNames(), ", "))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedSuiteNames() []string {
+	var out []string
+	for _, a := range Suite() {
+		out = append(out, a.Name)
+	}
+	// Suite order is already the documentation order; keep it.
+	return out
+}

@@ -1,0 +1,288 @@
+// Package analysis is pubopt's repo-specific static-analysis suite: a small,
+// dependency-free counterpart of golang.org/x/tools/go/analysis that encodes
+// the codebase's load-bearing invariants as compiler-adjacent checks.
+//
+// The suite exists because several correctness properties of this repository
+// are invisible to the type system and were previously enforced only by
+// convention or caught late by benchmarks:
+//
+//   - the warm equilibrium kernel must stay at 0 allocs/op (hotpathalloc);
+//   - floating-point values must never be compared with ==/!= outside
+//     deliberate, documented sentinel checks (floatcmp);
+//   - every solve must be bit-reproducible from a seed, so solver packages
+//     may not consult ambient randomness, wall-clock time, or map iteration
+//     order (detrand);
+//   - the cache and service mutexes must never be held across solver calls,
+//     channel operations, or I/O (lockhold);
+//   - NDJSON streaming writers must check frame errors and honor context
+//     cancellation (streamcheck);
+//   - suppression comments must name a real analyzer and carry a reason
+//     (allowcheck).
+//
+// The analyzers run over fully type-checked packages, driven either by
+// cmd/pubopt-vet (the `go vet -vettool` adapter) or by the analysistest
+// fixture harness in this package's tests. See docs/ANALYSIS.md for the
+// rules, rationale, and suppression convention.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors the x/tools analysis.Analyzer
+// surface that this repo needs: a name (used in diagnostics and in
+// //pubopt:allow suppressions), a one-line doc string, and a Run function.
+type Analyzer struct {
+	// Name is the analyzer's identifier: lowercase, no spaces. It is the
+	// <analyzer> in `//pubopt:allow(<analyzer>): <reason>`.
+	Name string
+	// Doc is the one-line rule statement shown by `pubopt-vet help`.
+	Doc string
+	// Run inspects the package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Pkg is the type-checked package; PkgPath is its canonical import path
+	// (analyzers gate on it, e.g. detrand only patrols solver packages).
+	Pkg     *types.Package
+	PkgPath string
+	Info    *types.Info
+	// report receives raw diagnostics; the driver applies suppression.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Suite returns the full analyzer suite in reporting order. The slice is
+// freshly allocated; callers may filter it.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		FloatCmp,
+		DetRand,
+		LockHold,
+		StreamCheck,
+		AllowCheck,
+	}
+}
+
+// suiteNames returns the set of valid analyzer names for allow-comment
+// validation.
+func suiteNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Suite() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Suppression: //pubopt:allow(<analyzer>): <reason>
+//
+// A finding is suppressed when an allow comment naming its analyzer sits on
+// the same line (trailing comment) or on the line directly above it
+// (standalone comment). The reason is mandatory; allowcheck flags malformed
+// or unknown-analyzer forms so a suppression can never silently rot.
+
+// allowRe matches a well-formed suppression. Submatch 1 is the analyzer
+// name, submatch 2 the reason.
+var allowRe = regexp.MustCompile(`^//pubopt:allow\(([a-z]+)\):\s*(\S.*)$`)
+
+// allowPrefix is what identifies an intended suppression even when
+// malformed, so allowcheck can reject near-misses instead of ignoring them.
+const allowPrefix = "//pubopt:allow"
+
+// allowSite is one parsed suppression comment.
+type allowSite struct {
+	analyzer string
+	line     int // line the comment sits on
+}
+
+// allowIndex maps a file to its suppression sites.
+type allowIndex map[*token.File][]allowSite
+
+// buildAllowIndex collects every well-formed allow comment in the files.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				idx[tf] = append(idx[tf], allowSite{analyzer: m[1], line: tf.Line(c.Pos())})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by an allow comment for its
+// analyzer on the diagnostic's line or the line directly above.
+func (idx allowIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	tf := fset.File(d.Pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(d.Pos)
+	for _, s := range idx[tf] {
+		if s.analyzer == d.Analyzer && (s.line == line || s.line == line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+
+// Package bundles everything the runner needs about one type-checked
+// package. It is the seam between the two drivers (the vet-protocol adapter
+// in cmd/pubopt-vet and the test fixture harness) and the analyzers.
+type Package struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	PkgPath string
+	Info    *types.Info
+}
+
+// Run executes the analyzers over pkg, applies the suppression convention,
+// and returns the surviving diagnostics sorted by position. Analyzer errors
+// (not findings) abort the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildAllowIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if !idx.suppressed(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by several analyzers.
+
+// isTestFile reports whether pos sits in a _test.go file. Most analyzers
+// exempt tests: the invariants protect production determinism and the hot
+// path, while tests legitimately compare exact floats, use wall-clock
+// timeouts, and allocate freely.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}
+
+// pkgOf resolves the package a selector's qualifier identifies, e.g. the
+// `rand` in rand.Intn. It returns nil when the expression is not a direct
+// package-qualified reference.
+func pkgOf(info *types.Info, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// calleePkgPath returns the import path of the package that declares the
+// function or method called by call, and the callee's name. It resolves
+// both package-level calls (pkg.F(...)) and method calls (x.M(...)); it
+// returns "" for builtins, calls of function-typed variables, and other
+// anonymous callees.
+func calleePkgPath(info *types.Info, call *ast.CallExpr) (path, name string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			// Method or field call: attribute to the declaring package.
+			if f, ok := sel.Obj().(*types.Func); ok && f.Pkg() != nil {
+				return f.Pkg().Path(), f.Name()
+			}
+			return "", ""
+		}
+		if p := pkgOf(info, fn); p != nil {
+			return p.Path(), fn.Sel.Name
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok && f.Pkg() != nil {
+			return f.Pkg().Path(), f.Name()
+		}
+	}
+	return "", ""
+}
+
+// isFloat reports whether t's core type is an untyped or typed float.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprIsFloat reports whether e's static type is floating point.
+func exprIsFloat(info *types.Info, e ast.Expr) bool {
+	return isFloat(info.TypeOf(e))
+}
+
+// funcDocMarked reports whether a function declaration carries the marker
+// directive (e.g. //pubopt:hotpath) in its doc comment group.
+func funcDocMarked(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detRandPackages are the package-path suffixes detrand patrols: everything
+// on the solve path whose output must be bit-reproducible from a seed. The
+// content-addressed cache (internal/cache) and the Tier-2 validation
+// harness both assume that identical inputs produce identical bytes; a
+// stray math/rand global or wall-clock read silently breaks that contract.
+var detRandPackages = []string{
+	"internal/alloc",
+	"internal/core",
+	"internal/scenario",
+	"internal/sweep",
+	"internal/traffic",
+	"internal/netsim",
+	"internal/numeric",
+}
+
+// detRandSeededConstructors are the math/rand functions that are allowed:
+// they build an explicitly seeded generator rather than touching the
+// package-global source.
+var detRandSeededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand; the source is already explicit
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// DetRand keeps ambient nondeterminism out of the solver packages:
+//
+//   - no math/rand (or math/rand/v2) package-level functions — they draw
+//     from the global, non-seeded source; plumb a seeded *rand.Rand (see
+//     internal/numeric/rng.go) instead;
+//   - no time.Now / time.Since / time.Until — solver output must not
+//     depend on the wall clock (timing belongs in callers, benchmarks,
+//     and the service layer);
+//   - no iteration over maps except order-insensitive collection loops
+//     (gathering keys for sorting, counting, deleting) — map range order
+//     is randomized by the runtime, so any other use leaks it into
+//     results.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid ambient randomness, wall-clock reads, and map-order dependence in solver packages",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	patrolled := false
+	for _, suffix := range detRandPackages {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			patrolled = true
+			break
+		}
+	}
+	if !patrolled {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetRandCall(pass, n)
+			case *ast.RangeStmt:
+				checkDetRandRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetRandCall(pass *Pass, call *ast.CallExpr) {
+	path, name := calleePkgPath(pass.Info, call)
+	switch path {
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand resolve here too; only package-level
+		// functions touch the global source, so require a direct
+		// package-qualified selector.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || pkgOf(pass.Info, sel) == nil {
+			return
+		}
+		if !detRandSeededConstructors[name] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the global random source; plumb a seeded *rand.Rand through instead", path, name)
+		}
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock inside a solver package; results must be reproducible from the seed alone", name)
+		}
+	}
+}
+
+// checkDetRandRange flags `for ... range m` over a map unless the body is
+// an order-insensitive collection loop.
+func checkDetRandRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if mapRangeOrderInsensitive(rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over a map has randomized order; sort the keys first (or keep the body to order-insensitive collection)")
+}
+
+// mapRangeOrderInsensitive recognizes loop bodies whose effect cannot
+// depend on iteration order: every statement appends to a slice, deletes
+// from a map, or increments/decrements a counter. (Gather-then-sort, the
+// canonical deterministic pattern, is exactly the append form.)
+func mapRangeOrderInsensitive(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	for _, st := range rs.Body.List {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) — including += for counters.
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+						continue
+					}
+				}
+				if st.Tok.IsOperator() && st.Tok.String() == "+=" {
+					continue
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			continue
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					continue
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}

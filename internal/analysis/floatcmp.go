@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp bans ==, != and switch dispatch on floating-point operands.
+//
+// The equilibrium maps in this repo are continuous functions solved to a
+// tolerance (numeric.DefaultTol); two floats that are "the same" for any
+// economic purpose routinely differ in the last bits, so exact comparison
+// is almost always a latent bug — the class of bug that made ~13 files
+// drift before this analyzer existed. Semantic comparisons must go through
+// the tolerance helpers in internal/numeric (AlmostEqual, or a named
+// domain predicate such as core.Strategy.Neutral that documents its exact
+// check once).
+//
+// Deliberate exact comparisons remain legal — IEEE-754 equality is exact
+// and well-defined — but each one must say why:
+//
+//	if fx == 0 { //pubopt:allow(floatcmp): exact root, no tolerance needed
+//
+// Test files are exempt: tests legitimately pin exact values.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!=/switch on float operands outside tolerance helpers and tests",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if exprIsFloat(pass.Info, n.X) || exprIsFloat(pass.Info, n.Y) {
+					pass.Reportf(n.Pos(), "float compared with %s; use a numeric tolerance helper (or annotate a deliberate exact check)", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && exprIsFloat(pass.Info, n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switch on a float value compares exactly; use if/else with tolerance helpers")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

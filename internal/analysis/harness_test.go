@@ -1,0 +1,205 @@
+package analysis
+
+// The fixture harness: a dependency-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest. Each fixture is a directory
+// under testdata/ holding one package; expected findings are written as
+// trailing comments on the offending line:
+//
+//	x := make([]int, 4) // want "make allocates"
+//
+// The quoted string is a regexp matched against the diagnostic message;
+// several `// want "a" "b"` patterns on one line expect several findings.
+// Lines without a want comment must produce no finding. Dependencies of a
+// fixture package live under <fixture>/src/<importpath>/ and are
+// type-checked recursively; everything else resolves through the stdlib
+// source importer.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation inside a `// want ...` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// fixtureLoader typechecks fixture packages, resolving example.com/...
+// imports from the fixture's src/ tree and everything else from the
+// standard library's source.
+type fixtureLoader struct {
+	fset   *token.FileSet
+	root   string // fixture dir
+	std    types.Importer
+	loaded map[string]*types.Package
+	info   *types.Info
+	files  map[string][]*ast.File // import path -> parsed files
+}
+
+func newFixtureLoader(fset *token.FileSet, root string) *fixtureLoader {
+	return &fixtureLoader{
+		fset:   fset,
+		root:   root,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*types.Package),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+		files: make(map[string][]*ast.File),
+	}
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := l.check(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		l.loaded[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// check parses and typechecks the package in dir under the given import
+// path, recording type info into the shared Info maps.
+func (l *fixtureLoader) check(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files in %s", path, dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %w", path, err)
+	}
+	l.files[path] = files
+	return pkg, nil
+}
+
+// loadFixture typechecks testdata/<name> as package path pkgPath.
+func loadFixture(t *testing.T, name, pkgPath string) (*Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", name)
+	l := newFixtureLoader(fset, root)
+	pkg, err := l.check(pkgPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		Fset:    fset,
+		Files:   l.files[pkgPath],
+		Pkg:     pkg,
+		PkgPath: pkgPath,
+		Info:    l.info,
+	}, fset
+}
+
+// fixtureDiags runs analyzers over a fixture and returns the surviving
+// diagnostics, for tests that assert on counts rather than want comments.
+func fixtureDiags(t *testing.T, name, pkgPath string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, _ := loadFixture(t, name, pkgPath)
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// runFixture typechecks testdata/<name> as package path pkgPath, runs the
+// analyzers through the production Run entry point (so suppression
+// filtering is exercised), and diffs findings against want comments.
+func runFixture(t *testing.T, name, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	fpkg, fset := loadFixture(t, name, pkgPath)
+	files := fpkg.Files
+
+	diags, err := Run(fpkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type expectation struct {
+		file    string
+		line    int
+		pattern string
+	}
+	var wants []expectation
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					wants = append(wants, expectation{
+						file:    filepath.Base(tf.Name()),
+						line:    tf.Line(c.Pos()),
+						pattern: m[1],
+					})
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file, line := filepath.Base(pos.Filename), pos.Line
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != file || w.line != line {
+				continue
+			}
+			re, err := regexp.Compile(w.pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", file, line, w.pattern, err)
+			}
+			if re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", file, line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package allowfixture exercises allowcheck: suppression comments must be
+// well-formed, name a known analyzer, and carry a reason.
+package allowfixture
+
+//pubopt:allow(floatcmp): a well-formed suppression parses silently
+var a = 1.0
+
+//pubopt:allow(floatcmp) missing the colon and reason // want "malformed suppression"
+var b = 2.0
+
+//pubopt:allow(nosuchcheck): names nothing in the suite // want "unknown analyzer"
+var c = 3.0
+
+//pubopt:allow (floatcmp): stray space breaks the directive // want "malformed suppression"
+var d = 4.0
+
+//pubopt:allow(FloatCmp): analyzer names are lowercase // want "malformed suppression"
+var e = 5.0

@@ -1,0 +1,45 @@
+// Package detfixture exercises detrand. Its fixture package path ends in
+// internal/core, so it is patrolled.
+package detfixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func bad(m map[string]float64) float64 {
+	x := rand.Float64()                // want "draws from the global random source"
+	n := rand.Intn(10)                 // want "draws from the global random source"
+	rand.Shuffle(n, func(i, j int) {}) // want "draws from the global random source"
+	t := time.Now()                    // want "reads the wall clock"
+	d := time.Since(t)                 // want "reads the wall clock"
+	var sum float64
+	for _, v := range m { // want "range over a map has randomized order"
+		sum -= v / (sum + 1) // order-dependent accumulation
+	}
+	return x + float64(n) + d.Seconds() + sum
+}
+
+func good(m map[string]float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := rng.Float64() // methods on a seeded *Rand are fine
+
+	// Gather-then-sort: the canonical deterministic map walk.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+
+	// Order-insensitive counting is fine too.
+	count := 0
+	for range m {
+		count++
+	}
+	return x + sum + float64(count)
+}

@@ -1,0 +1,44 @@
+// Package cmpfixture exercises floatcmp: exact float comparisons are
+// findings unless annotated; int/string/bool comparisons and tolerance
+// helpers are not.
+package cmpfixture
+
+import "math"
+
+type level float64
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func bad(a, b float64, l level) bool {
+	if a == b { // want "float compared with =="
+		return true
+	}
+	if a != 0 { // want "float compared with !="
+		return false
+	}
+	if l == 1.5 { // want "float compared with =="
+		return true
+	}
+	switch a { // want "switch on a float value"
+	case 0:
+		return false
+	}
+	return a+b == 2*b // want "float compared with =="
+}
+
+func good(a, b float64, n int, s string) bool {
+	if almostEqual(a, b, eps) {
+		return true
+	}
+	if n == 0 || s == "x" || (a > 0) == (b > 0) {
+		return false
+	}
+	if a == 0 { //pubopt:allow(floatcmp): exact zero is the ν=0 sentinel here
+		return true
+	}
+	return a < b || a >= b
+}

@@ -1,0 +1,88 @@
+// Package hotfixture exercises hotpathalloc: allocation-inducing
+// constructs inside //pubopt:hotpath functions are findings; the same
+// constructs in unmarked functions, and annotated one-time setup, are not.
+package hotfixture
+
+import "fmt"
+
+type workspace struct {
+	buf   []float64
+	total float64
+}
+
+type evaluator interface {
+	eval(x float64) float64
+}
+
+type linear struct{ gain float64 }
+
+func (l linear) eval(x float64) float64 { return l.gain * x }
+
+// solveHot is the deliberately-broken hot function: every construct the
+// benchmark gate would catch as allocs/op is flagged statically here.
+//
+//pubopt:hotpath
+func (w *workspace) solveHot(n int, e evaluator) float64 {
+	scratch := make([]float64, n)          // want "make allocates"
+	extra := new(float64)                  // want "new allocates"
+	tmp := []float64{1, 2, 3}              // want "slice literal allocates"
+	seen := map[int]bool{}                 // want "map literal allocates"
+	w.buf = append(w.buf, 1.0)             // want "append may grow"
+	fmt.Printf("n=%d\n", n)                // want "fmt.Printf allocates"
+	box := evaluator(linear{})             // want "conversion to interface boxes"
+	sink(linear{gain: 2})                  // want "boxes .*linear into interface"
+	f := func() float64 { return w.total } // want "captures enclosing variables"
+	p := &point{x: 1}                      // want "escapes to the heap"
+	_ = scratch
+	_ = extra
+	_ = tmp
+	_ = seen
+	_ = box
+	_ = p
+	return f() + e.eval(1)
+}
+
+type point struct{ x float64 }
+
+func sink(e evaluator) float64 { return e.eval(0) }
+
+// solveWarm is the allocation-free shape the contract wants: reuse of
+// workspace buffers, devirtualized arithmetic, non-capturing literals.
+//
+//pubopt:hotpath
+func (w *workspace) solveWarm(level float64) float64 {
+	var sum float64
+	for i := range w.buf {
+		v := w.buf[i] * level
+		if v > 1 {
+			v = 1
+		}
+		sum += v
+	}
+	w.total = sum
+	square := func(x float64) float64 { return x * x } // no capture: no finding
+	return square(sum)
+}
+
+// solveSetup shows the suppression convention: a per-call setup cost,
+// amortized over the whole solve, is annotated with its justification.
+//
+//pubopt:hotpath
+func (w *workspace) solveSetup(n int) float64 {
+	if cap(w.buf) < n {
+		//pubopt:allow(hotpathalloc): grow path runs once per population size, not per solve
+		w.buf = make([]float64, n)
+	}
+	w.buf = w.buf[:n]
+	return float64(len(w.buf))
+}
+
+// coldHelper is unmarked: the same constructs are fine off the hot path.
+func coldHelper(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	fmt.Println(len(out))
+	return out
+}

@@ -1,0 +1,5 @@
+// Package core is a stand-in solver layer for the lockhold fixture.
+package core
+
+// Solve stands in for any model-layer entry point.
+func Solve(nu float64) float64 { return nu / 2 }

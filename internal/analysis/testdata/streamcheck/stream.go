@@ -1,0 +1,72 @@
+// Package streamfixture exercises streamcheck. Its fixture package path
+// ends in internal/service, so it is patrolled.
+package streamfixture
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+)
+
+type ndjsonWriter struct {
+	enc *json.Encoder
+}
+
+func (nw *ndjsonWriter) frame(v any) error {
+	return nw.enc.Encode(v)
+}
+
+type cell struct {
+	Row, Col int
+	Value    float64
+}
+
+func badWriter(w io.Writer, cells []cell) {
+	enc := json.NewEncoder(w)
+	bw := bufio.NewWriter(w)
+	enc.Encode(cells[0])     // want "Encode error discarded"
+	_ = enc.Encode(cells[1]) // want "Encode error assigned to _"
+	bw.Flush()               // want "Flush error discarded"
+}
+
+func badLoop(nw *ndjsonWriter, cells []cell) {
+	for _, c := range cells { // want "streaming loop writes frames without consulting the request context"
+		nw.frame(c) // want "frame error discarded"
+	}
+}
+
+func goodLoop(ctx context.Context, nw *ndjsonWriter, cells []cell) error {
+	for _, c := range cells {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := nw.frame(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodSelectLoop(ctx context.Context, nw *ndjsonWriter, in <-chan cell) error {
+	for {
+		select {
+		case c, ok := <-in:
+			if !ok {
+				return nil
+			}
+			if err := nw.frame(c); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// goodTerminal shows the annotated exception: a best-effort terminal frame
+// after the stream's real work, where the error genuinely has no consumer.
+func goodTerminal(nw *ndjsonWriter, done any) {
+	//pubopt:allow(streamcheck): terminal frame; the stream ends either way
+	nw.frame(done)
+}

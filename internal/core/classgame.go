@@ -353,7 +353,7 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 		return eq
 	}
 	// κ = 0: no premium class exists; the trivial profile (N, ∅).
-	if strategy.Kappa == 0 {
+	if strategy.NoPremium() {
 		s.finalize(eq)
 		return eq
 	}
@@ -535,10 +535,10 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 // iteration: for κ = 0 it is (N, ∅); for κ = 1 it is ({i : v_i ≤ c}, rest)
 // (§III-C). For interior κ it falls back to Competitive.
 func (s *Solver) Trivial(strategy Strategy, nu float64, pop traffic.Population) *ClassEquilibrium {
-	switch strategy.Kappa {
-	case 0:
+	switch {
+	case strategy.NoPremium():
 		return s.Competitive(strategy, nu, pop)
-	case 1:
+	case strategy.AllPremium():
 		eq := &ClassEquilibrium{
 			Strategy:  strategy,
 			Nu:        nu,
@@ -650,7 +650,7 @@ func (ps *partitionSet) add(premium []bool) bool {
 // the equilibrium's own EpsUsed. A converged equilibrium has zero violations
 // at its EpsUsed by construction.
 func (s *Solver) VerifyCompetitive(eq *ClassEquilibrium, eps float64) int {
-	if eq.Strategy.Kappa == 0 {
+	if eq.Strategy.NoPremium() {
 		return 0 // single class: nothing to choose
 	}
 	if eps <= 0 {

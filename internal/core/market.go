@@ -247,7 +247,10 @@ func (mk *Market) SolveMarket(isps []ISP) *MarketOutcome {
 				hi = mid
 			}
 		}
-		if curve[lo] == curve[hi] {
+		// A (near-)flat bracketing cell means the curve saturates there
+		// and the inversion below is ill-conditioned; snap to the cell's
+		// right edge instead of dividing by a vanishing difference.
+		if numeric.AlmostEqual(curve[lo], curve[hi], numeric.DefaultTol) {
 			return grid[hi]
 		}
 		t := (curve[lo] - phiStar) / (curve[lo] - curve[hi])

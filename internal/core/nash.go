@@ -62,7 +62,7 @@ func (s *Solver) Nash(strategy Strategy, nu float64, pop traffic.Population, max
 		Theta:     make([]float64, len(pop)),
 		Converged: true,
 	}
-	if strategy.Kappa == 0 || len(pop) == 0 {
+	if strategy.NoPremium() || len(pop) == 0 {
 		s.finalize(eq)
 		return eq
 	}
@@ -97,7 +97,7 @@ func (s *Solver) Nash(strategy Strategy, nu float64, pop traffic.Population, max
 // the premium class must be strictly better off there). tol absorbs solver
 // noise in the utility comparison.
 func (s *Solver) IsNash(eq *ClassEquilibrium, tol float64) bool {
-	if eq.Strategy.Kappa == 0 {
+	if eq.Strategy.NoPremium() {
 		return true // single class: nothing to deviate to
 	}
 	if tol <= 0 {
@@ -148,7 +148,7 @@ func (s *Solver) AllNash(strategy Strategy, nu float64, pop traffic.Population) 
 		if s.IsNash(eq, 0) {
 			out = append(out, eq)
 		}
-		if strategy.Kappa == 0 {
+		if strategy.NoPremium() {
 			break // only the all-ordinary partition is meaningful
 		}
 	}

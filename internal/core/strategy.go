@@ -42,10 +42,34 @@ type Strategy struct {
 // capacity split, no charge — neutral to all content providers.
 var PublicOption = Strategy{Kappa: 0, C: 0}
 
+// NoPremium reports whether the strategy reserves no premium capacity, so
+// the class game degenerates to a single best-effort class. The comparison
+// is exact by design: κ is a configuration input, and only the literal 0
+// removes the premium class — a tolerance here would silently erase a
+// tiny-but-real premium carve-out. Every κ = 0 structural branch in the
+// solvers routes through this helper (and AllPremium for κ = 1) so the
+// sentinel semantics live in exactly one annotated place.
+func (s Strategy) NoPremium() bool {
+	return s.Kappa == 0 //pubopt:allow(floatcmp): κ=0 is the exact no-premium sentinel; a nearby κ is a real (tiny) premium class
+}
+
+// AllPremium reports whether the strategy dedicates all capacity to the
+// premium class (κ = 1), starving the ordinary class entirely. Exact for
+// the same reason as NoPremium.
+func (s Strategy) AllPremium() bool {
+	return s.Kappa == 1 //pubopt:allow(floatcmp): κ=1 is the exact all-premium sentinel of §III-C
+}
+
+// FreePremium reports whether the premium class costs nothing, so every CP
+// can afford it and the price mechanism is inert.
+func (s Strategy) FreePremium() bool {
+	return s.C == 0 //pubopt:allow(floatcmp): c=0 is the exact free-premium sentinel; any positive price excludes someone
+}
+
 // Neutral reports whether the strategy is economically neutral: either no
 // premium capacity or a free premium class (no CP pays, no CP is
 // disadvantaged by ability to pay).
-func (s Strategy) Neutral() bool { return s.Kappa == 0 || s.C == 0 }
+func (s Strategy) Neutral() bool { return s.NoPremium() || s.FreePremium() }
 
 // Validate reports the first parameter violation, or nil.
 func (s Strategy) Validate() error {

@@ -115,6 +115,7 @@ type Power struct {
 func (p Power) At(omega float64) float64 {
 	switch {
 	case omega <= 0:
+		//pubopt:allow(floatcmp): γ=0 is the exact config sentinel that degenerates Power to the constant curve d≡1
 		if p.Gamma == 0 {
 			return 1
 		}
@@ -169,13 +170,16 @@ func NewPiecewise(omegas, levels []float64) (*Piecewise, error) {
 	if len(omegas) != len(levels) || len(omegas) < 2 {
 		return nil, fmt.Errorf("demand: need >= 2 knots with matching lengths, got %d/%d", len(omegas), len(levels))
 	}
+	//pubopt:allow(floatcmp): Assumption 1 pins the first knot at exactly ω=0; validation rejects anything else
 	if omegas[0] != 0 {
 		return nil, fmt.Errorf("demand: first knot must be at ω=0, got %g", omegas[0])
 	}
 	last := len(omegas) - 1
+	//pubopt:allow(floatcmp): Assumption 1 pins the last knot at exactly ω=1
 	if omegas[last] != 1 {
 		return nil, fmt.Errorf("demand: last knot must be at ω=1, got %g", omegas[last])
 	}
+	//pubopt:allow(floatcmp): d(1)=1 is an exact normalization requirement, not a numeric coincidence
 	if levels[last] != 1 {
 		return nil, fmt.Errorf("demand: d(1) must be 1, got %g", levels[last])
 	}

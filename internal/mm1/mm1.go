@@ -66,6 +66,7 @@ func Solve(nu float64, pop traffic.Population) *Equilibrium {
 	if len(pop) == 0 {
 		return eq
 	}
+	//pubopt:allow(floatcmp): ν=0 is the exact zero-capacity sentinel; any positive ν yields finite delay
 	if nu == 0 {
 		eq.W = math.Inf(1)
 		return eq

@@ -101,7 +101,7 @@ func deltaAt(d []float64, i int) float64 {
 // endpointSlope implements the standard three-point endpoint formula with the
 // Fritsch–Carlson clamps.
 func endpointSlope(h0, d0, h1, d1 float64) float64 {
-	if h1 == 0 {
+	if h1 == 0 { //pubopt:allow(floatcmp): h1=0 is the exact constructed-width sentinel for a single interval
 		// Only one interval: use its secant slope.
 		return d0
 	}
@@ -161,7 +161,7 @@ func locate(xs []float64, x float64) (i int, t float64, ok bool) {
 		idx = len(xs) - 1
 	}
 	i = idx - 1
-	if xs[idx] == x {
+	if xs[idx] == x { //pubopt:allow(floatcmp): exact knot hit; a near-miss must interpolate, not snap
 		i = idx - 1
 	}
 	t = (x - xs[i]) / (xs[i+1] - xs[i])

@@ -58,7 +58,7 @@ func (r *RNG) Uniform(lo, hi float64) float64 {
 func (r *RNG) UniformOpen(lo, hi float64) float64 {
 	for {
 		x := r.Uniform(lo, hi)
-		if x != lo {
+		if x != lo { //pubopt:allow(floatcmp): open-interval rejection sampling must reject the exact endpoint draw only
 			return x
 		}
 	}

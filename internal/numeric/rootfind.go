@@ -72,10 +72,11 @@ func BisectStrict(f func(float64) float64, lo, hi, tol float64) (float64, error)
 		lo, hi = hi, lo
 	}
 	flo, fhi := f(lo), f(hi)
+	//pubopt:allow(floatcmp): an exact zero at the bracket endpoint IS the root; tolerance belongs to the interval, not f
 	if flo == 0 {
 		return lo, nil
 	}
-	if fhi == 0 {
+	if fhi == 0 { //pubopt:allow(floatcmp): exact root at the other endpoint
 		return hi, nil
 	}
 	if (flo > 0) == (fhi > 0) {
@@ -84,7 +85,7 @@ func BisectStrict(f func(float64) float64, lo, hi, tol float64) (float64, error)
 	for i := 0; i < maxBisectIter && hi-lo > tol; i++ {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
-		if fm == 0 {
+		if fm == 0 { //pubopt:allow(floatcmp): an exact zero terminates bisection early; near-zero keeps shrinking the bracket
 			return mid, nil
 		}
 		if (fm > 0) == (fhi > 0) {
@@ -106,10 +107,10 @@ func Brent(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	}
 	a, b := lo, hi
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //pubopt:allow(floatcmp): exact root at Brent's left endpoint
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //pubopt:allow(floatcmp): exact root at Brent's right endpoint
 		return b, nil
 	}
 	if (fa > 0) == (fb > 0) {
@@ -122,11 +123,11 @@ func Brent(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < maxBisectIter; i++ {
-		if fb == 0 || math.Abs(b-a) < tol {
+		if fb == 0 || math.Abs(b-a) < tol { //pubopt:allow(floatcmp): exact zero ends the iteration; the tolerance test beside it handles near-zeros
 			return b, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //pubopt:allow(floatcmp): inverse quadratic interpolation divides by these exact differences; equal ordinates must fall back to secant
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +

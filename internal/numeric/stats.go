@@ -125,7 +125,7 @@ func JainIndex(xs []float64) float64 {
 		sum += x
 		sumSq += x * x
 	}
-	if sumSq == 0 {
+	if sumSq == 0 { //pubopt:allow(floatcmp): all-zero rates are exactly representable; Jain's index is 1 by convention
 		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)

@@ -47,10 +47,10 @@ func Chart(t *sweep.Table, width, height int) string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
-	if xmax == xmin {
+	if xmax == xmin { //pubopt:allow(floatcmp): exact degenerate x-range guard before scaling; near-ties divide fine
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //pubopt:allow(floatcmp): exact degenerate y-range guard before scaling; near-ties divide fine
 		ymax = ymin + 1
 	}
 	grid := make([][]byte, height)

@@ -22,6 +22,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/netecon-sim/publicoption/internal/core"
 	"github.com/netecon-sim/publicoption/internal/demand"
 	"github.com/netecon-sim/publicoption/internal/numeric"
 	"github.com/netecon-sim/publicoption/internal/traffic"
@@ -382,7 +383,7 @@ func (s *Scenario) validateProviders() error {
 			return fmt.Errorf("scenario %q: batched populations sweep capacity only (axes %s)", s.Name, s.axisList())
 		}
 		for _, p := range s.Providers {
-			if !p.PublicOption && !(p.Kappa == 0 || p.C == 0) {
+			if !p.PublicOption && !(core.Strategy{Kappa: p.Kappa, C: p.C}).Neutral() {
 				return fmt.Errorf("scenario %q: batched populations support only neutral providers, %q plays (κ=%g, c=%g)", s.Name, p.Name, p.Kappa, p.C)
 			}
 			if p.BestResponse || p.Sigma > 0 {

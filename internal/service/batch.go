@@ -196,6 +196,7 @@ func (s *Server) batchScenarios(w http.ResponseWriter, r *http.Request, list []j
 			return // mid-stream write failure: the client is gone
 		}
 	}
+	//pubopt:allow(streamcheck): terminal summary frame; the stream ends either way and there is nothing left to abort
 	nw.frame(&listDoneFrame{
 		Done: true, Results: results, Errors: errs,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
@@ -326,6 +327,9 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 	var missRows []int
 	for row := 0; row < len(job.Ys); row++ {
 		for col := 0; col < cols; col++ {
+			if r.Context().Err() != nil {
+				return // client gone mid-probe: stop streaming cached cells
+			}
 			val, ok := s.store.Lookup(keys[row*cols+col])
 			if !ok {
 				if len(missing[row]) == 0 {
@@ -424,6 +428,7 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 		select {
 		case err := <-solveErr:
 			s.log.Printf("batch grid %q: %v", sc.Name, err)
+			//pubopt:allow(streamcheck): terminal error frame right before return; the stream is over regardless
 			nw.frame(&errorFrame{Error: err.Error()})
 			return
 		default:
@@ -435,6 +440,7 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 
 	s.log.Printf("batch grid %q: %d cells, %d solved, %d cached, %.3fs",
 		sc.Name, job.Cells(), solved, hits, time.Since(start).Seconds())
+	//pubopt:allow(streamcheck): terminal summary frame; the stream ends either way and there is nothing left to abort
 	nw.frame(&gridDoneFrame{
 		Done: true, Cells: job.Cells(), Solved: solved, CacheHits: hits,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,

@@ -66,27 +66,58 @@ func (m *metrics) solveFinished() {
 	m.mu.Unlock()
 }
 
-// render writes the full exposition: request counters, cache gauges and
-// counters (from st), the in-flight gauge, the solve histogram, and uptime.
-func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float64) {
+// renderSnapshot is the point-in-time copy render formats from: the mutex
+// guards only the counter copy, never the formatting work, so a slow
+// /metrics reader cannot stall request and solve accounting.
+type renderSnapshot struct {
+	requests map[string]map[int]uint64
+	counts   []uint64
+	sum      float64
+	total    uint64
+	inFlight int64
+}
+
+func (m *metrics) snapshot() renderSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	snap := renderSnapshot{
+		requests: make(map[string]map[int]uint64, len(m.requests)),
+		counts:   append([]uint64(nil), m.counts...),
+		sum:      m.sum,
+		total:    m.total,
+		inFlight: m.inFlight,
+	}
+	for r, byCode := range m.requests {
+		cp := make(map[int]uint64, len(byCode))
+		for c, n := range byCode {
+			cp[c] = n
+		}
+		snap.requests[r] = cp
+	}
+	return snap
+}
+
+// render writes the full exposition: request counters, cache gauges and
+// counters (from st), the in-flight gauge, the solve histogram, and uptime.
+// It formats from a snapshot so no lock is held while writing.
+func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float64) {
+	snap := m.snapshot()
 
 	fmt.Fprintf(w, "# HELP pubopt_http_requests_total HTTP requests served, by route pattern and status code.\n")
 	fmt.Fprintf(w, "# TYPE pubopt_http_requests_total counter\n")
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
+	routes := make([]string, 0, len(snap.requests))
+	for r := range snap.requests {
 		routes = append(routes, r)
 	}
 	sort.Strings(routes)
 	for _, r := range routes {
-		codes := make([]int, 0, len(m.requests[r]))
-		for c := range m.requests[r] {
+		codes := make([]int, 0, len(snap.requests[r]))
+		for c := range snap.requests[r] {
 			codes = append(codes, c)
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			fmt.Fprintf(w, "pubopt_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, m.requests[r][c])
+			fmt.Fprintf(w, "pubopt_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, snap.requests[r][c])
 		}
 	}
 
@@ -102,19 +133,19 @@ func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float
 	counter("pubopt_cache_evictions_total", "Cache entries dropped by the LRU bound.", st.Evictions)
 	gauge("pubopt_cache_entries", "Results currently cached.", float64(st.Entries))
 	gauge("pubopt_cache_max_entries", "The cache's LRU bound (0 = caching disabled).", float64(st.MaxEntries))
-	gauge("pubopt_runs_in_flight", "Solves currently executing.", float64(m.inFlight))
+	gauge("pubopt_runs_in_flight", "Solves currently executing.", float64(snap.inFlight))
 
 	fmt.Fprintf(w, "# HELP pubopt_solve_duration_seconds Latency of cache-miss solves (cold equilibrium computations).\n")
 	fmt.Fprintf(w, "# TYPE pubopt_solve_duration_seconds histogram\n")
 	var cum uint64
 	for i, le := range solveBuckets {
-		cum += m.counts[i]
+		cum += snap.counts[i]
 		fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
 	}
-	cum += m.counts[len(solveBuckets)]
+	cum += snap.counts[len(solveBuckets)]
 	fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "pubopt_solve_duration_seconds_sum %g\n", m.sum)
-	fmt.Fprintf(w, "pubopt_solve_duration_seconds_count %d\n", m.total)
+	fmt.Fprintf(w, "pubopt_solve_duration_seconds_sum %g\n", snap.sum)
+	fmt.Fprintf(w, "pubopt_solve_duration_seconds_count %d\n", snap.total)
 
 	gauge("pubopt_uptime_seconds", "Seconds since the server started.", uptimeSeconds)
 }

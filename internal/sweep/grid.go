@@ -137,6 +137,8 @@ func (g *Grid) WriteCSV(w io.Writer) error {
 // [0,workers), letting callers keep one warm solver per worker across all
 // the rows that worker claims. Workers run sequentially within themselves;
 // panics propagate to the caller after all workers drain.
+//
+//pubopt:hotpath
 func RunRows(workers, rows int, run func(worker, row int)) {
 	if rows <= 0 {
 		return
@@ -158,8 +160,10 @@ func RunRows(workers, rows int, run func(worker, row int)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//pubopt:allow(hotpathalloc): one worker closure per sweep, amortized over every row it claims
 		go func(worker int) {
 			defer wg.Done()
+			//pubopt:allow(hotpathalloc): panic-capture closure, one per worker per sweep
 			defer func() {
 				if r := recover(); r != nil {
 					mu.Lock()
