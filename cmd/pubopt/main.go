@@ -16,6 +16,8 @@
 //	                                   [-layer NAME] [-out DIR]
 //	                                   [-seed N] [-cps N] [-workers N]
 //	pubopt serve [-addr HOST:PORT] [-workers N] [-cache-entries N]
+//	             [-log-level LEVEL] [-log-format text|json] [-trace]
+//	             [-events N] [-pprof]
 //
 // With -out, each table is written as CSV into DIR (one file per table);
 // otherwise tables render to stdout in the chosen format.
@@ -139,6 +141,14 @@ flags for serve:
   -cache-entries N          equilibrium cache LRU bound (default 2048;
                             grid cells occupy one entry each;
                             negative disables caching)
+  -log-level LEVEL          debug, info, warn or error (default info;
+                            debug adds per-request access lines)
+  -log-format text|json     structured log output format (default text)
+  -trace                    echo trace IDs in response bodies (the
+                            X-Trace-Id header is always set)
+  -events N                 flight recorder capacity at /debug/events
+                            (default 256; negative disables)
+  -pprof                    expose /debug/pprof/ (trusted networks only)
 `)
 }
 

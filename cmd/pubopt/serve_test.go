@@ -1,9 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"github.com/netecon-sim/publicoption/internal/obs"
 )
 
 // stub is a recognizable backing handler for the pprof-wrapping tests.
@@ -45,9 +55,110 @@ func TestServeRejectsBadFlags(t *testing.T) {
 		{"-workers", "-1"},
 		{"-pprof=maybe"},
 		{"extra-arg"},
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
 	} {
 		if err := serveCmd(args); err == nil {
 			t.Fatalf("serveCmd(%v): expected usage error", args)
 		}
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: serveRun's server goroutines log
+// concurrently with the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeRunLifecycle drives the full serve path — bind, serve a request,
+// cancel, drain — and checks the structured startup and shutdown log lines
+// an operator reconstructs the server's lifetime from.
+func TestServeRunLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	logger, err := obs.NewLogger(&logBuf, 0 /* info */, obs.LogJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, serveConfig{
+			workers: 1, cacheEntries: 8, trace: true, events: 16,
+			logger: logger, listener: ln, ready: ready,
+		})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("healthz against live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("live server response missing X-Trace-Id")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveRun: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never shut down")
+	}
+
+	// Every line is one JSON object (obs.LogJSON); find the lifecycle msgs.
+	msgs := map[string]map[string]any{}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if msg, _ := rec["msg"].(string); msg != "" {
+			msgs[msg] = rec
+		}
+	}
+	listening, ok := msgs["listening"]
+	if !ok {
+		t.Fatalf("no \"listening\" startup line in:\n%s", logBuf.String())
+	}
+	if got, _ := listening["addr"].(string); got != addr.String() {
+		t.Fatalf("startup line addr = %q, want %q", got, addr.String())
+	}
+	if _, ok := msgs["shutting down"]; !ok {
+		t.Fatalf("no \"shutting down\" line in:\n%s", logBuf.String())
+	}
+	if rec, ok := msgs["shutdown complete"]; !ok {
+		t.Fatalf("no \"shutdown complete\" line in:\n%s", logBuf.String())
+	} else if _, ok := rec["uptime_s"].(float64); !ok {
+		t.Fatalf("shutdown line lacks numeric uptime_s: %v", rec)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/traffic"
 )
 
@@ -65,9 +66,12 @@ type Workspace struct {
 	// because along a sweep consecutive moves have comparable size.
 	lastDelta float64
 
-	// evals counts aggregate-map evaluations across the workspace's
-	// lifetime; the warm-start tests and benchmarks read it through Evals.
-	evals int
+	// stats counts solver work across the workspace's lifetime: aggregate
+	// evaluations, warm vs. cold bracketing, forced bisections, and the
+	// final residual bound. Plain (non-atomic) fields: a Workspace is
+	// single-goroutine by contract, and the hot path must not pay for
+	// synchronization it does not need. Read through Stats or Evals.
+	stats obs.SolveStats
 }
 
 // NewWorkspace returns a workspace for mechanism a (nil means the paper's
@@ -92,7 +96,12 @@ func (w *Workspace) Allocator() Allocator { return w.a }
 // Evals returns the cumulative number of aggregate-rate evaluations the
 // workspace has performed — the unit of solver work. Warm solves should
 // show a small fraction of a cold solve's count.
-func (w *Workspace) Evals() int { return w.evals }
+func (w *Workspace) Evals() int { return int(w.stats.Evals) }
+
+// Stats returns the workspace's cumulative solver telemetry. The returned
+// value is a snapshot; use obs.SolveStats.Since against a previous snapshot
+// to attribute work to one solve or one sweep segment.
+func (w *Workspace) Stats() obs.SolveStats { return w.stats }
 
 // Reset drops the warm-start state (keeping the scratch buffers). Call it
 // between sweeps over unrelated systems if you want reproducible eval
@@ -143,7 +152,7 @@ func (w *Workspace) bind(pop traffic.Population) (hi float64) {
 //
 //pubopt:hotpath
 func (w *Workspace) aggregateAt(level float64) float64 {
-	w.evals++
+	w.stats.Evals++
 	if w.lin != nil {
 		return w.flatAggregate(level)
 	}
@@ -220,6 +229,7 @@ func (w *Workspace) Solve(nu float64, pop traffic.Population) *Result {
 	}
 	n := len(pop)
 	w.ensure(n)
+	w.stats.Solves++
 	res := &w.res
 	*res = Result{Nu: nu, Pop: pop, Theta: w.theta}
 	if n == 0 {
@@ -237,6 +247,7 @@ func (w *Workspace) Solve(nu float64, pop traffic.Population) *Result {
 		return res
 	}
 	res.Constrained = true
+	w.stats.Constrained++
 	level := w.findLevel(nu, hi, total)
 	res.Level = level
 	w.ratesAt(level, w.theta)
@@ -272,9 +283,11 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 	lo, flo := 0.0, -nu
 	up, fup := hi, total-nu
 	if flo >= 0 {
+		w.stats.Residual = 0
 		return lo // ν = 0: the zero level is work conserving
 	}
 
+	warm := false
 	if w.hasWarm && w.warmLevel > 0 {
 		// Trust the previous level only as a probe point: evaluate, assign
 		// it to the correct side of the bracket, then step geometrically
@@ -287,8 +300,11 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			x0 *= hi / w.warmHi
 		}
 		if x0 > lo+tol && x0 < up-tol {
+			warm = true
+			w.stats.WarmBrackets++
 			f0 := w.aggregateAt(x0) - nu
 			if f0 == 0 { //pubopt:allow(floatcmp): exact residual zero is the root; near-zero keeps bracketing
+				w.stats.Residual = 0
 				return x0
 			}
 			if f0 < 0 {
@@ -326,6 +342,7 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 				}
 				fx := w.aggregateAt(x) - nu
 				if fx == 0 { //pubopt:allow(floatcmp): exact residual zero is the root
+					w.stats.Residual = 0
 					return x
 				}
 				if fx < 0 {
@@ -336,6 +353,9 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 				step *= 8
 			}
 		}
+	}
+	if !warm {
+		w.stats.ColdBrackets++
 	}
 
 	// Bracketed hybrid search: Illinois-damped false position — the secant
@@ -353,6 +373,7 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			if up-lo > checkWidth/2 {
 				x = lo + (up-lo)/2 // stagnating: force a bisection step
 				side = 0
+				w.stats.Bisections++
 			}
 			checkWidth = up - lo
 			sinceCheck = 0
@@ -362,12 +383,14 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			if !(x > lo && x < up) {
 				x = lo + (up-lo)/2
 				side = 0
+				w.stats.Bisections++
 			}
 		}
 		sinceCheck++
 		fx := w.aggregateAt(x) - nu
 		switch {
 		case fx == 0: //pubopt:allow(floatcmp): exact residual zero is the root
+			w.stats.Residual = 0
 			return x
 		case fx < 0:
 			lo, flo = x, fx
@@ -382,6 +405,14 @@ func (w *Workspace) findLevel(nu, hi, total float64) float64 {
 			}
 			side = 1
 		}
+	}
+	// The residual bound is the smaller endpoint magnitude of the final
+	// bracket: the returned midpoint's |aggregate−ν| cannot exceed it, and
+	// reading it costs no extra aggregate evaluation.
+	if r := math.Abs(flo); r < math.Abs(fup) {
+		w.stats.Residual = r
+	} else {
+		w.stats.Residual = math.Abs(fup)
 	}
 	return lo + (up-lo)/2
 }

@@ -35,6 +35,13 @@ func TestLockHold(t *testing.T) {
 	runFixture(t, "lockhold", "example.com/internal/cache", LockHold)
 }
 
+// TestLockHoldPatrolsObs pins the scope extension: internal/obs holds the
+// flight recorder's mutex on every solve, so it is patrolled like the
+// cache and service packages.
+func TestLockHoldPatrolsObs(t *testing.T) {
+	runFixture(t, "lockhold", "example.com/internal/obs", LockHold)
+}
+
 func TestLockHoldOutOfScope(t *testing.T) {
 	diags := fixtureDiags(t, "lockhold", "example.com/internal/alloc", LockHold)
 	if len(diags) != 0 {

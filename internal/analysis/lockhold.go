@@ -7,12 +7,14 @@ import (
 )
 
 // lockHoldPackages are the package-path suffixes lockhold patrols. The
-// cache store's mutex serializes every request's fast path, and the
-// service metrics mutex sits inside each HTTP handler; blocking under
-// either turns one slow solve into a server-wide stall.
+// cache store's mutex serializes every request's fast path, the service
+// metrics mutex sits inside each HTTP handler, and the flight recorder's
+// mutex is taken on every solve; blocking under any of them turns one slow
+// solve into a server-wide stall.
 var lockHoldPackages = []string{
 	"internal/cache",
 	"internal/service",
+	"internal/obs",
 }
 
 // lockHoldSolverPackages identify "a solver call": any call into the model

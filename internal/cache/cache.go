@@ -21,6 +21,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -140,12 +141,37 @@ func (s *Store) Reserve() (release func()) {
 	return func() { <-s.sem }
 }
 
+// ReserveContext is Reserve with cancellable waiting: when ctx ends before
+// a pool slot frees up, it returns ctx.Err() and no slot is held.
+func (s *Store) ReserveContext(ctx context.Context) (release func(), err error) {
+	if s.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Do returns the cached value for key, or executes solve to produce it.
 // Concurrent calls with the same key run solve exactly once: the first
 // caller solves (inside the worker pool), the rest block until it finishes
 // and share its value or error. A panic inside solve is recovered into an
 // error so one poisonous request cannot take the server down.
 func (s *Store) Do(key string, solve func() (any, error)) (any, Status, error) {
+	return s.DoContext(context.Background(), key, solve)
+}
+
+// DoContext is Do with cancellable waiting. A coalesced caller whose ctx
+// ends before the in-flight solve completes returns ctx.Err() immediately —
+// the solve itself keeps running for the remaining waiters and still
+// populates the cache. A solving caller whose ctx ends while it waits for a
+// worker-pool slot gives up before solving; its error propagates to every
+// waiter coalesced onto it (failed solves are never cached, so the next
+// request retries).
+func (s *Store) DoContext(ctx context.Context, key string, solve func() (any, error)) (any, Status, error) {
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
 		s.ll.MoveToFront(el)
@@ -157,8 +183,12 @@ func (s *Store) Do(key string, solve func() (any, error)) (any, Status, error) {
 	if f, ok := s.inflight[key]; ok {
 		s.coalesced++
 		s.mu.Unlock()
-		<-f.done
-		return f.val, Coalesced, f.err
+		select {
+		case <-f.done:
+			return f.val, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -166,7 +196,16 @@ func (s *Store) Do(key string, solve func() (any, error)) (any, Status, error) {
 	s.mu.Unlock()
 
 	if s.sem != nil {
-		s.sem <- struct{}{}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			f.err = ctx.Err()
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(f.done)
+			return nil, Miss, f.err
+		}
 	}
 	f.val, f.err = runSafe(solve)
 	if s.sem != nil {

@@ -9,6 +9,7 @@ import (
 	"github.com/netecon-sim/publicoption/internal/alloc"
 	"github.com/netecon-sim/publicoption/internal/econ"
 	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/traffic"
 )
 
@@ -41,6 +42,10 @@ type Solver struct {
 	ordBuf, premBuf traffic.Population
 	joinBuf         traffic.Population
 	seen            partitionSet
+	// cycles counts partition-cycle restarts across the solver's lifetime:
+	// phase-1 mover-cap halvings and phase-2 indifference-band widenings.
+	// Surfaced through Stats alongside the kernels' counters.
+	cycles uint64
 }
 
 // NewSolver returns a Solver using mechanism a (nil means the paper's
@@ -62,6 +67,21 @@ func (s *Solver) kernels() {
 		s.wsP = alloc.NewWorkspace(s.Alloc)
 		s.wsJoin = alloc.NewWorkspace(s.Alloc)
 	}
+}
+
+// Stats returns the solver's cumulative telemetry: the summed counters of
+// its three equilibrium kernels plus the class-dynamics cycle restarts.
+// Like the kernels themselves, the counters are single-goroutine state;
+// callers aggregating across workers go through an obs.Counters sink.
+func (s *Solver) Stats() obs.SolveStats {
+	var st obs.SolveStats
+	if s.wsO != nil {
+		st.Accumulate(s.wsO.Stats())
+		st.Accumulate(s.wsP.Stats())
+		st.Accumulate(s.wsJoin.Stats())
+	}
+	st.CycleRestarts += s.cycles
+	return st
 }
 
 // splitScratch partitions pop by membership flags into the solver's
@@ -445,6 +465,7 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 		}
 		lO, lP = levels(eq.InPremium)
 		if s.seen.add(eq.InPremium) {
+			s.cycles++
 			cap1 /= 2 // oscillating: shrink the block
 			s.seen.reset()
 			s.seen.add(eq.InPremium)
@@ -520,6 +541,7 @@ func (s *Solver) CompetitiveFrom(strategy Strategy, nu float64, pop traffic.Popu
 		}
 		lO, lP = levels(eq.InPremium)
 		if s.seen.add(eq.InPremium) {
+			s.cycles++
 			eps *= 8 // interleaved cycle: widen the indifference band
 			s.seen.reset()
 			s.seen.add(eq.InPremium)

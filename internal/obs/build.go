@@ -1,0 +1,39 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is what pubopt_build_info and the startup log line report about
+// the running binary. Values degrade to "unknown" outside module builds
+// (e.g. ad-hoc `go run` of a file set).
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for a working-tree
+	// build, a tag for a released one).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Modified come from the VCS stamp when present.
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// Build returns the binary's build information.
+func Build() BuildInfo {
+	info := BuildInfo{Version: "unknown", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}

@@ -1,0 +1,162 @@
+// Package obs is pubopt's observability layer: solver telemetry counters,
+// request trace IDs, a bounded in-memory flight recorder, and structured
+// logging helpers. It is stdlib-only and dependency-free — every other
+// layer (internal/alloc, internal/core, internal/scenario, internal/service,
+// cmd/pubopt) imports obs, so obs imports nothing of theirs.
+//
+// The package splits telemetry into two tiers matching the repo's
+// performance contract (docs/PERFORMANCE.md):
+//
+//   - SolveStats is the hot tier: a plain counter block owned by each
+//     solver workspace and incremented with ordinary integer adds on the
+//     //pubopt:hotpath solve kernel. No atomics, no locks, no allocation,
+//     no time reads — the warm-kernel 0 allocs/op gate and the detrand
+//     analyzer both hold with it enabled.
+//   - Counters is the cold tier: an atomic sink that aggregates SolveStats
+//     deltas across goroutines. Solvers publish into it once per task, row,
+//     or request — never per solve iteration — so contention is amortized
+//     away from the kernel.
+//
+// Trace IDs, the Recorder, and the slog helpers serve the HTTP layer; see
+// docs/OBSERVABILITY.md for the full model.
+package obs
+
+import "sync/atomic"
+
+// SolveStats is the allocation-free solver telemetry block: what the
+// equilibrium kernel (alloc.Workspace) and the class-game solver
+// (core.Solver) count about their own work. All fields are cumulative over
+// the owning solver's lifetime; sample with Since to get per-solve or
+// per-cell deltas.
+//
+// The counters are deliberately plain (no atomics): a SolveStats belongs to
+// exactly one solver, and solvers are single-goroutine by contract. Cross-
+// goroutine aggregation goes through Counters.
+type SolveStats struct {
+	// Solves counts completed equilibrium solves (Workspace.Solve calls).
+	Solves uint64 `json:"solves,omitempty"`
+	// Constrained counts the solves where the link was a bottleneck and a
+	// root search actually ran (the rest short-circuit to θ̂).
+	Constrained uint64 `json:"constrained,omitempty"`
+	// Evals counts aggregate-rate-map evaluations — the root-finder's unit
+	// of work (each is one pass over the flattened CP population).
+	Evals uint64 `json:"evals,omitempty"`
+	// WarmBrackets counts constrained solves that reused the previous
+	// level as a warm bracket probe.
+	WarmBrackets uint64 `json:"warm_brackets,omitempty"`
+	// ColdBrackets counts constrained solves bracketed from scratch (first
+	// solve on a workspace, or a warm level outside the usable range).
+	ColdBrackets uint64 `json:"cold_brackets,omitempty"`
+	// Bisections counts safeguard bisection steps inside the hybrid
+	// Illinois/secant search: stagnation-forced halvings plus secant steps
+	// that left the bracket. A healthy warm sweep shows ~0.
+	Bisections uint64 `json:"bisections,omitempty"`
+	// CycleRestarts counts partition-cycle restarts in the class-choice
+	// dynamics (core.Solver): phase-1 mover-cap halvings and phase-2
+	// indifference-band widenings triggered by a revisited partition.
+	CycleRestarts uint64 `json:"cycle_restarts,omitempty"`
+	// Residual is the aggregate-rate residual bound |λ(ℓ)−ν| at the last
+	// accepted equilibrium level — not a counter; it carries the most
+	// recent solve's value (0 for uncongested solves and exact roots).
+	Residual float64 `json:"residual,omitempty"`
+}
+
+// Accumulate adds d's counters into s. Residual keeps d's value when d has
+// performed any solve (last-writer-wins, matching its "most recent solve"
+// semantics).
+func (s *SolveStats) Accumulate(d SolveStats) {
+	s.Solves += d.Solves
+	s.Constrained += d.Constrained
+	s.Evals += d.Evals
+	s.WarmBrackets += d.WarmBrackets
+	s.ColdBrackets += d.ColdBrackets
+	s.Bisections += d.Bisections
+	s.CycleRestarts += d.CycleRestarts
+	if d.Solves > 0 {
+		s.Residual = d.Residual
+	}
+}
+
+// Since returns the counter deltas accumulated after prev was sampled from
+// the same stats block. Residual is the current (most recent) value, not a
+// difference.
+func (s SolveStats) Since(prev SolveStats) SolveStats {
+	return SolveStats{
+		Solves:        s.Solves - prev.Solves,
+		Constrained:   s.Constrained - prev.Constrained,
+		Evals:         s.Evals - prev.Evals,
+		WarmBrackets:  s.WarmBrackets - prev.WarmBrackets,
+		ColdBrackets:  s.ColdBrackets - prev.ColdBrackets,
+		Bisections:    s.Bisections - prev.Bisections,
+		CycleRestarts: s.CycleRestarts - prev.CycleRestarts,
+		Residual:      s.Residual,
+	}
+}
+
+// Zero reports whether the block holds no recorded work at all.
+func (s SolveStats) Zero() bool {
+	return s.Solves == 0 && s.Evals == 0 && s.CycleRestarts == 0
+}
+
+// Counters is the cross-goroutine aggregation sink for SolveStats: sweep
+// workers, grid workers, and the HTTP service publish their solvers'
+// deltas into one Counters with atomic adds. The zero value is ready to
+// use; a nil *Counters is a valid no-op sink.
+//
+// Residual is not aggregated — a last-writer race across workers would be
+// meaningless; read per-solver residuals from the flight recorder instead.
+type Counters struct {
+	solves        atomic.Uint64
+	constrained   atomic.Uint64
+	evals         atomic.Uint64
+	warmBrackets  atomic.Uint64
+	coldBrackets  atomic.Uint64
+	bisections    atomic.Uint64
+	cycleRestarts atomic.Uint64
+}
+
+// Add publishes a stats delta into the sink. Safe for concurrent use; a
+// no-op on a nil receiver so call sites never need to branch.
+func (c *Counters) Add(d SolveStats) {
+	if c == nil {
+		return
+	}
+	if d.Solves > 0 {
+		c.solves.Add(d.Solves)
+	}
+	if d.Constrained > 0 {
+		c.constrained.Add(d.Constrained)
+	}
+	if d.Evals > 0 {
+		c.evals.Add(d.Evals)
+	}
+	if d.WarmBrackets > 0 {
+		c.warmBrackets.Add(d.WarmBrackets)
+	}
+	if d.ColdBrackets > 0 {
+		c.coldBrackets.Add(d.ColdBrackets)
+	}
+	if d.Bisections > 0 {
+		c.bisections.Add(d.Bisections)
+	}
+	if d.CycleRestarts > 0 {
+		c.cycleRestarts.Add(d.CycleRestarts)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the aggregated counters.
+// Residual is always 0 (see the type comment).
+func (c *Counters) Snapshot() SolveStats {
+	if c == nil {
+		return SolveStats{}
+	}
+	return SolveStats{
+		Solves:        c.solves.Load(),
+		Constrained:   c.constrained.Load(),
+		Evals:         c.evals.Load(),
+		WarmBrackets:  c.warmBrackets.Load(),
+		ColdBrackets:  c.coldBrackets.Load(),
+		Bisections:    c.bisections.Load(),
+		CycleRestarts: c.cycleRestarts.Load(),
+	}
+}

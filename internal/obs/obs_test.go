@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSolveStatsAccumulateAndSince(t *testing.T) {
+	var total SolveStats
+	a := SolveStats{Solves: 2, Constrained: 1, Evals: 30, WarmBrackets: 1, ColdBrackets: 1, Bisections: 3, Residual: 1e-13}
+	b := SolveStats{Solves: 1, Evals: 5, WarmBrackets: 1, CycleRestarts: 2, Residual: 2e-14}
+	total.Accumulate(a)
+	total.Accumulate(b)
+	want := SolveStats{Solves: 3, Constrained: 1, Evals: 35, WarmBrackets: 2, ColdBrackets: 1, Bisections: 3, CycleRestarts: 2, Residual: 2e-14}
+	if total != want {
+		t.Fatalf("accumulated %+v, want %+v", total, want)
+	}
+	// Accumulating an idle block must not clobber the residual.
+	total.Accumulate(SolveStats{})
+	if total.Residual != 2e-14 {
+		t.Fatalf("idle accumulate overwrote residual: %g", total.Residual)
+	}
+
+	d := total.Since(a)
+	if d.Solves != 1 || d.Evals != 5 || d.WarmBrackets != 1 || d.CycleRestarts != 2 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.Residual != total.Residual {
+		t.Fatalf("Since residual = %g, want current value %g", d.Residual, total.Residual)
+	}
+	if !(SolveStats{}).Zero() || total.Zero() {
+		t.Fatal("Zero misclassifies")
+	}
+}
+
+func TestCountersConcurrentAndNil(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(SolveStats{Solves: 1, Evals: 3, Bisections: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	if got.Solves != 8000 || got.Evals != 24000 || got.Bisections != 8000 {
+		t.Fatalf("snapshot %+v", got)
+	}
+
+	var nilC *Counters
+	nilC.Add(SolveStats{Solves: 1}) // must not panic
+	if !nilC.Snapshot().Zero() {
+		t.Fatal("nil Counters snapshot not zero")
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !re.MatchString(id) {
+			t.Fatalf("trace ID %q is not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context carries a trace ID")
+	}
+	ctx = WithTraceID(ctx, "deadbeefdeadbeef")
+	if got := TraceID(ctx); got != "deadbeefdeadbeef" {
+		t.Fatalf("TraceID = %q", got)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap %d", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: "run", Name: string(rune('a' + i))})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Oldest first, holding the last 3 of the 5 recorded.
+	for i, want := range []string{"c", "d", "e"} {
+		if evs[i].Name != want {
+			t.Fatalf("event %d = %q, want %q (events %+v)", i, evs[i].Name, want, evs)
+		}
+		if evs[i].Seq != uint64(i+2) {
+			t.Fatalf("event %d seq = %d, want %d", i, evs[i].Seq, i+2)
+		}
+	}
+	if r.Recorded() != 5 {
+		t.Fatalf("recorded %d, want 5", r.Recorded())
+	}
+
+	// Partial fill returns only what exists, in order.
+	r2 := NewRecorder(8)
+	r2.Record(Event{Name: "x"})
+	r2.Record(Event{Name: "y"})
+	evs = r2.Events()
+	if len(evs) != 2 || evs[0].Name != "x" || evs[1].Name != "y" {
+		t.Fatalf("partial ring events %+v", evs)
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	for _, r := range []*Recorder{nil, NewRecorder(0), NewRecorder(-5)} {
+		r.Record(Event{Kind: "run"}) // must not panic
+		if r.Events() != nil || r.Cap() != 0 || r.Recorded() != 0 {
+			t.Fatalf("disabled recorder leaked state: %v %d %d", r.Events(), r.Cap(), r.Recorded())
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Kind: "cell"})
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Recorded() != 2000 {
+		t.Fatalf("recorded %d, want 2000", r.Recorded())
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(r.Events()))
+	}
+}
+
+func TestEventJSONOmitsEmpty(t *testing.T) {
+	b, err := json.Marshal(Event{Kind: "run", Name: "x", DurationMS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, forbidden := range []string{"trace", "key", "outcome", "error"} {
+		if strings.Contains(s, `"`+forbidden+`"`) {
+			t.Errorf("empty field %q serialized: %s", forbidden, s)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var text, js strings.Builder
+	lg, err := NewLogger(&text, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	lg.Debug("hidden")
+	if !strings.Contains(text.String(), "msg=hello") || !strings.Contains(text.String(), "k=v") {
+		t.Fatalf("text log: %q", text.String())
+	}
+	if strings.Contains(text.String(), "hidden") {
+		t.Fatal("debug line leaked at info level")
+	}
+
+	lg, err = NewLogger(&js, slog.LevelDebug, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", 1)
+	var line map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &line); err != nil {
+		t.Fatalf("json log is not JSON: %q (%v)", js.String(), err)
+	}
+	if line["msg"] != "hello" || line["k"] != float64(1) {
+		t.Fatalf("json log line %v", line)
+	}
+
+	if _, err := NewLogger(&text, slog.LevelInfo, "xml"); err == nil {
+		t.Fatal("NewLogger accepted unknown format")
+	}
+
+	NopLogger().Error("discarded", "k", "v") // must not panic, writes nowhere
+}
+
+func TestBuild(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" || b.Version == "" {
+		t.Fatalf("build info has empty fields: %+v", b)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Trace IDs are 64-bit values rendered as 16 lowercase hex digits. They
+// identify one request end to end: the access log line, the solve log line,
+// the flight-recorder events, and the optional `trace` fields on /v1/batch
+// NDJSON frames all carry the same ID, so an operator can pivot from any
+// one of them to the rest.
+//
+// IDs are generated from a process-unique random base XORed with a
+// monotonic counter: collision-free within a process, overwhelmingly
+// unlikely to collide across replicas, and — deliberately — not derived
+// from wall-clock time, so ID generation never perturbs solver
+// determinism even if it leaks into a solver package by accident.
+
+// traceBase is the per-process random component of trace IDs.
+var traceBase = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; degrade to
+		// counter-only IDs (still unique in-process) rather than failing.
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	n := traceCounter.Add(1)
+	// splitmix64-style finalizer spreads the counter across all bits so
+	// consecutive IDs do not share a prefix.
+	x := traceBase ^ (n * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return fmt.Sprintf("%016x", x)
+}
+
+// traceKey is the context key carrying the request's trace ID.
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the context's trace ID, or "" when the context carries
+// none (a non-HTTP caller, or tracing disabled).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/netecon-sim/publicoption/internal/core"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 	"github.com/netecon-sim/publicoption/internal/traffic"
 )
@@ -152,6 +153,17 @@ type GridWorker struct {
 // NewWorker returns a fresh worker with its own solver state.
 func (j *GridJob) NewWorker() *GridWorker { return &GridWorker{job: j} }
 
+// Stats returns the worker's cumulative solver telemetry (zero before the
+// first SolveCell builds the market). Workers are single-goroutine; callers
+// aggregating across workers publish each worker's stats to an obs.Counters
+// sink after the sweep drains.
+func (w *GridWorker) Stats() obs.SolveStats {
+	if w.mk == nil {
+		return obs.SolveStats{}
+	}
+	return w.mk.Solver.Stats()
+}
+
 // SolveCell solves cell (row, col) and returns its layer values.
 func (w *GridWorker) SolveCell(row, col int) Cell {
 	j := w.job
@@ -230,5 +242,12 @@ func (s *Scenario) RunGrid(opt RunOptions) (*sweep.Grid, error) {
 			}
 		}
 	})
+	if opt.Stats != nil {
+		for _, w := range state {
+			if w != nil {
+				opt.Stats.Add(w.Stats())
+			}
+		}
+	}
 	return g, nil
 }

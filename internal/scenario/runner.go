@@ -6,6 +6,7 @@ import (
 
 	"github.com/netecon-sim/publicoption/internal/core"
 	"github.com/netecon-sim/publicoption/internal/numeric"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 	"github.com/netecon-sim/publicoption/internal/traffic"
 )
@@ -16,6 +17,11 @@ type RunOptions struct {
 	// Workers bounds parallelism (independent curves, grid chunks, or
 	// population batches depending on the scenario). 0 means GOMAXPROCS.
 	Workers int
+	// Stats, when non-nil, receives each task solver's telemetry as tasks
+	// finish (one atomic publish per chunk/curve/row-worker, never per
+	// solve). Batched large-N scenarios run the water-fill instead of the
+	// equilibrium kernels and publish nothing.
+	Stats *obs.Counters
 }
 
 func (o RunOptions) workers() int {
@@ -182,6 +188,9 @@ func (s *Scenario) runMarket(opt RunOptions) ([]*sweep.Table, error) {
 				}
 				pts[i] = s.solvePoint(mk, grid[i])
 			}
+			// The solver is chunk-local, so its lifetime stats are this
+			// chunk's exact contribution.
+			opt.Stats.Add(solver.Stats())
 		})
 	}
 	sweep.RunParallel(opt.workers(), tasks)
@@ -348,7 +357,7 @@ func (s *Scenario) runRegimes(opt RunOptions) ([]*sweep.Table, error) {
 	for r := range regimes {
 		r := r
 		tasks[r] = func() {
-			results[r] = regimeCurve(regimes[r], grid, pop, rc)
+			results[r] = regimeCurve(regimes[r], grid, pop, rc, opt.Stats)
 		}
 	}
 	sweep.RunParallel(opt.workers(), tasks)
@@ -466,13 +475,15 @@ func (rs *regimeSolver) solveAt(regime string, nu float64) (point, []providerEq)
 }
 
 // regimeCurve sweeps one regulatory regime across capacities with its own
-// warm-started solver.
-func regimeCurve(regime string, nus []float64, pop traffic.Population, rc RegulationSpec) []point {
+// warm-started solver, publishing the curve's solver telemetry to stats
+// (nil-safe) when done.
+func regimeCurve(regime string, nus []float64, pop traffic.Population, rc RegulationSpec, stats *obs.Counters) []point {
 	rs := newRegimeSolver(pop, rc)
 	out := make([]point, len(nus))
 	for i, nu := range nus {
 		out[i], _ = rs.solveAt(regime, nu)
 	}
+	stats.Add(rs.solver.Stats())
 	return out
 }
 

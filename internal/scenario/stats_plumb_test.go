@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/obs"
+)
+
+// TestRunPublishesSolverStats wires an obs.Counters sink into a 1-D sweep
+// and a 2-D grid and requires both to publish kernel work: the telemetry
+// path must see every solve the runner performs.
+func TestRunPublishesSolverStats(t *testing.T) {
+	s := &Scenario{
+		Name: "stats-1d", Title: "stats",
+		Population: smallEnsemble(40),
+		Providers:  []ProviderSpec{{Name: "isp", Gamma: 1, Kappa: 0.5, C: 0.4}},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.2, Hi: 0.8, Points: 4, OfSaturation: true,
+			Metrics: []string{MetricPhi},
+		},
+	}
+	var sink obs.Counters
+	if _, err := s.Run(RunOptions{Workers: 2, Stats: &sink}); err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Snapshot()
+	if st.Solves == 0 || st.Evals == 0 {
+		t.Fatalf("1-D sweep published no solver work: %+v", st)
+	}
+
+	g := &Scenario{
+		Name: "stats-grid", Title: "stats grid",
+		Population: smallEnsemble(30),
+		Providers:  []ProviderSpec{{Name: "isp", Gamma: 1, Kappa: 0.5}},
+		Sweep: SweepSpec{
+			Axis: AxisPrice, Lo: 0.2, Hi: 0.6, Points: 3, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi},
+			Grid:    &GridSpec{Axis: AxisNu, Lo: 0.3, Hi: 0.7, Points: 3},
+		},
+	}
+	var gridSink obs.Counters
+	if _, err := g.RunGrid(RunOptions{Workers: 2, Stats: &gridSink}); err != nil {
+		t.Fatal(err)
+	}
+	gs := gridSink.Snapshot()
+	if gs.Solves == 0 || gs.Evals == 0 {
+		t.Fatalf("grid run published no solver work: %+v", gs)
+	}
+
+	// Regime scenarios publish per-curve.
+	r := &Scenario{
+		Name: "stats-regimes", Title: "stats regimes",
+		Population: smallEnsemble(30),
+		Regulation: &RegulationSpec{Regimes: []string{"neutral", "kappa-cap"}},
+		Sweep: SweepSpec{
+			Axis: AxisNu, Lo: 0.3, Hi: 0.6, Points: 2, OfSaturation: true,
+			Metrics: []string{MetricPhi},
+		},
+	}
+	var regimeSink obs.Counters
+	if _, err := r.Run(RunOptions{Workers: 2, Stats: &regimeSink}); err != nil {
+		t.Fatal(err)
+	}
+	if rs := regimeSink.Snapshot(); rs.Solves == 0 {
+		t.Fatalf("regime run published no solver work: %+v", rs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/netecon-sim/publicoption/internal/cache"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/scenario"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 )
@@ -79,10 +80,12 @@ type gridInfo struct {
 	Cells  int       `json:"cells"`
 }
 
-// cellFrame is one solved or cache-served grid cell.
+// cellFrame is one solved or cache-served grid cell. Trace carries the
+// request's trace ID when the server runs with Options.Trace.
 type cellFrame struct {
 	Cell  scenario.Cell `json:"cell"`
 	Cache string        `json:"cache"` // "hit" or "miss"
+	Trace string        `json:"trace,omitempty"`
 }
 
 // listDoneFrame closes a list-mode stream.
@@ -105,21 +108,25 @@ type gridDoneFrame struct {
 
 // ndjsonWriter serializes frames to the response, one JSON object per
 // line, flushing after every frame so results stream instead of buffering.
+// Each frame's serialize+write+flush time feeds the
+// pubopt_batch_frame_write_seconds histogram (nil metrics skips it).
 type ndjsonWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
+	metrics *metrics
 	started bool
 }
 
-func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+func newNDJSONWriter(w http.ResponseWriter, m *metrics) *ndjsonWriter {
 	flusher, _ := w.(http.Flusher)
-	return &ndjsonWriter{w: w, flusher: flusher}
+	return &ndjsonWriter{w: w, flusher: flusher, metrics: m}
 }
 
 // frame writes one NDJSON frame. The first frame commits the 200 status
 // and the x-ndjson content type; errors after that point must travel as
 // error frames, not status codes.
 func (nw *ndjsonWriter) frame(v any) error {
+	start := time.Now()
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("serializing frame: %w", err)
@@ -134,6 +141,9 @@ func (nw *ndjsonWriter) frame(v any) error {
 	}
 	if nw.flusher != nil {
 		nw.flusher.Flush()
+	}
+	if nw.metrics != nil {
+		nw.metrics.observeFrame(time.Since(start).Seconds())
 	}
 	return nil
 }
@@ -177,7 +187,7 @@ func (s *Server) batchScenarios(w http.ResponseWriter, r *http.Request, list []j
 		writeError(w, http.StatusRequestEntityTooLarge, "batch lists at most %d scenarios, got %d", maxBatchScenarios, len(list))
 		return
 	}
-	nw := newNDJSONWriter(w)
+	nw := newNDJSONWriter(w, s.metrics)
 	start := time.Now()
 	results, errs := 0, 0
 	for i := range list {
@@ -185,10 +195,11 @@ func (s *Server) batchScenarios(w http.ResponseWriter, r *http.Request, list []j
 			return // client went away; stop solving
 		}
 		i := i
-		frame := s.solveBatchEntry(i, list[i], workers)
+		frame := s.solveBatchEntry(r, i, list[i], workers)
 		if ef, isErr := frame.(*errorFrame); isErr {
 			errs++
-			s.log.Printf("batch[%d]: %s", i, ef.Error)
+			s.logger.Warn("batch entry failed",
+				"index", i, "trace", obs.TraceID(r.Context()), "error", ef.Error)
 		} else {
 			results++
 		}
@@ -204,8 +215,10 @@ func (s *Server) batchScenarios(w http.ResponseWriter, r *http.Request, list []j
 }
 
 // solveBatchEntry resolves one list element (name or inline definition) and
-// solves it through the cache, returning the frame to stream.
-func (s *Server) solveBatchEntry(index int, raw json.RawMessage, workers int) any {
+// solves it through the cache, returning the frame to stream. Each entry is
+// metered and flight-recorded like a standalone run, under the batch
+// request's trace ID.
+func (s *Server) solveBatchEntry(r *http.Request, index int, raw json.RawMessage, workers int) any {
 	errf := func(format string, args ...any) *errorFrame {
 		return &errorFrame{Index: &index, Error: fmt.Sprintf(format, args...)}
 	}
@@ -239,13 +252,17 @@ func (s *Server) solveBatchEntry(index int, raw json.RawMessage, workers int) an
 			return errf("%v", err)
 		}
 		getScenario = func() (*scenario.Scenario, error) { return sc, nil }
+		name = sc.Name
 	}
 
 	reqStart := time.Now()
-	val, status, err := s.store.Do(key, func() (any, error) {
+	// delta is only written when the solve closure runs, and DoContext runs
+	// it in this goroutine (coalesced callers never execute it), so no lock.
+	var delta obs.SolveStats
+	val, status, err := s.store.DoContext(r.Context(), key, func() (any, error) {
 		s.metrics.solveStarted()
 		defer s.metrics.solveFinished()
-		solveStart := time.Now()
+		var sink obs.Counters
 		sc, err := getScenario()
 		if err != nil {
 			return nil, err
@@ -253,21 +270,41 @@ func (s *Server) solveBatchEntry(index int, raw json.RawMessage, workers int) an
 		if sc.IsGrid() {
 			return nil, fmt.Errorf("scenario %q is a 2-D grid; submit it via the \"grid\" field", sc.Name)
 		}
-		tables, err := s.runScenario(sc, workers)
-		s.metrics.observeSolve(time.Since(solveStart).Seconds())
+		tables, err := s.runScenario(sc, workers, &sink)
+		delta = sink.Snapshot()
+		s.counters.Add(delta)
 		if err != nil {
 			return nil, err
 		}
 		return &RunResult{Kind: "scenario", Name: sc.Name, Title: sc.Title, Tables: tablesToWire(tables)}, nil
 	})
+	elapsed := time.Since(reqStart)
+	outcome := status.String()
 	if err != nil {
+		outcome = "error"
+	}
+	s.metrics.observeSolve(outcome, elapsed.Seconds())
+	ev := obs.Event{
+		Time: time.Now(), Trace: obs.TraceID(r.Context()), Kind: "run",
+		Name: name, Key: shortKey(key), Outcome: outcome,
+		DurationMS: float64(elapsed.Microseconds()) / 1e3,
+		Solver:     delta,
+	}
+	if err != nil {
+		ev.Error = err.Error()
+		s.recorder.Record(ev)
 		return errf("solve failed: %v", err)
 	}
-	return &scenarioFrame{Index: index, RunResponse: RunResponse{
+	s.recorder.Record(ev)
+	resp := RunResponse{
 		RunResult: *val.(*RunResult),
 		Cache:     status.String(),
-		ElapsedMS: float64(time.Since(reqStart).Microseconds()) / 1e3,
-	}}
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+	}
+	if s.trace {
+		resp.Trace = obs.TraceID(r.Context())
+	}
+	return &scenarioFrame{Index: index, RunResponse: resp}
 }
 
 // ---------------------------------------------------------------------------
@@ -311,8 +348,13 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 		}
 	}
 
-	nw := newNDJSONWriter(w)
+	nw := newNDJSONWriter(w, s.metrics)
 	start := time.Now()
+	trace := obs.TraceID(r.Context())
+	frameTrace := ""
+	if s.trace {
+		frameTrace = trace
+	}
 	if err := nw.frame(&gridHeaderFrame{Grid: gridInfo{
 		Name: sc.Name, Title: sc.Title,
 		XAxis: job.XAxis, YAxis: job.YAxis,
@@ -346,7 +388,7 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 			// streaming.
 			cell := val.(scenario.Cell)
 			cell.Row, cell.Col = row, col
-			if err := nw.frame(&cellFrame{Cell: cell, Cache: cache.Hit.String()}); err != nil {
+			if err := nw.frame(&cellFrame{Cell: cell, Cache: cache.Hit.String(), Trace: frameTrace}); err != nil {
 				return
 			}
 		}
@@ -357,6 +399,9 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 	// poll it per cell, so at most one in-flight cell per worker completes
 	// after cancellation.
 	solved := 0
+	// gridDelta collects the solve workers' kernel telemetry; zero when the
+	// grid was fully cached.
+	var gridDelta obs.SolveStats
 	if len(missRows) > 0 {
 		if workers > len(missRows) {
 			workers = len(missRows)
@@ -364,6 +409,11 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 		var stopped atomic.Bool
 		cellCh := make(chan solvedCell, cols)
 		solveErr := make(chan error, 1)
+		// gridDelta is written before the goroutine body returns, which
+		// happens-before the deferred close(cellCh), which happens-before the
+		// stream loop observing the closed channel — so reading it after the
+		// loop is safe without a lock.
+		ctx := r.Context()
 		go func() {
 			defer close(cellCh)
 			defer func() {
@@ -377,14 +427,17 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 			// A grid solve occupies one worker-pool slot, like any pooled
 			// solve: its internal row parallelism plays the role of a
 			// solve's per-solve parallelism, so concurrent cold grids queue
-			// instead of oversubscribing the CPU.
-			release := s.store.Reserve()
+			// instead of oversubscribing the CPU. A client that vanishes
+			// while queued gives its slot wait up via the request context.
+			release, err := s.store.ReserveContext(ctx)
+			if err != nil {
+				return
+			}
 			defer release()
 			s.metrics.solveStarted()
 			defer s.metrics.solveFinished()
-			solveStart := time.Now()
 			state := make([]*scenario.GridWorker, workers)
-			sweep.RunRows(workers, len(missRows), func(worker, ri int) {
+			sweep.RunRowsContext(ctx, workers, len(missRows), func(worker, ri int) {
 				if state[worker] == nil {
 					state[worker] = job.NewWorker()
 				}
@@ -397,10 +450,14 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 					cellCh <- solvedCell{cell: cell, key: keys[row*cols+col]}
 				}
 			})
-			s.metrics.observeSolve(time.Since(solveStart).Seconds())
+			for _, gw := range state {
+				if gw != nil {
+					gridDelta.Accumulate(gw.Stats())
+				}
+			}
+			s.counters.Add(gridDelta)
 		}()
 
-		ctx := r.Context()
 	stream:
 		for {
 			select {
@@ -410,7 +467,11 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 				}
 				s.store.Put(c.key, c.cell)
 				solved++
-				if err := nw.frame(&cellFrame{Cell: c.cell, Cache: cache.Miss.String()}); err != nil {
+				s.recorder.Record(obs.Event{
+					Time: time.Now(), Trace: trace, Kind: "cell", Name: sc.Name,
+					Key: shortKey(c.key), Outcome: cache.Miss.String(),
+				})
+				if err := nw.frame(&cellFrame{Cell: c.cell, Cache: cache.Miss.String(), Trace: frameTrace}); err != nil {
 					stopped.Store(true)
 				}
 			case <-ctx.Done():
@@ -427,7 +488,13 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 		}
 		select {
 		case err := <-solveErr:
-			s.log.Printf("batch grid %q: %v", sc.Name, err)
+			s.logger.Error("batch grid failed", "grid", sc.Name, "trace", trace, "error", err)
+			s.recorder.Record(obs.Event{
+				Time: time.Now(), Trace: trace, Kind: "grid", Name: sc.Name,
+				Outcome: "error", Error: err.Error(),
+				DurationMS: float64(time.Since(start).Microseconds()) / 1e3,
+			})
+			s.metrics.observeSolve("error", time.Since(start).Seconds())
 			//pubopt:allow(streamcheck): terminal error frame right before return; the stream is over regardless
 			nw.frame(&errorFrame{Error: err.Error()})
 			return
@@ -438,12 +505,27 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 		}
 	}
 
-	s.log.Printf("batch grid %q: %d cells, %d solved, %d cached, %.3fs",
-		sc.Name, job.Cells(), solved, hits, time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	// The whole grid request is one solve-duration observation: "miss" if
+	// anything was solved, "hit" for a fully warm replay.
+	outcome := cache.Miss.String()
+	if solved == 0 {
+		outcome = cache.Hit.String()
+	}
+	s.metrics.observeSolve(outcome, elapsed.Seconds())
+	s.recorder.Record(obs.Event{
+		Time: time.Now(), Trace: trace, Kind: "grid", Name: sc.Name,
+		Outcome: outcome, DurationMS: float64(elapsed.Microseconds()) / 1e3,
+		Solver: gridDelta,
+	})
+	s.logger.Info("batch grid served",
+		"grid", sc.Name, "cells", job.Cells(), "solved", solved, "cached", hits,
+		"elapsed_s", elapsed.Seconds(), "solves", gridDelta.Solves,
+		"evals", gridDelta.Evals, "trace", trace)
 	//pubopt:allow(streamcheck): terminal summary frame; the stream ends either way and there is nothing left to abort
 	nw.frame(&gridDoneFrame{
 		Done: true, Cells: job.Cells(), Solved: solved, CacheHits: hits,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
 	})
 }
 

@@ -7,31 +7,97 @@ import (
 	"sync"
 
 	"github.com/netecon-sim/publicoption/internal/cache"
+	"github.com/netecon-sim/publicoption/internal/obs"
 )
 
-// solveBuckets are the latency histogram bounds in seconds. Warm cache hits
-// land well under the first bucket; cold full-grid experiment solves in the
-// last ones.
-var solveBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10}
+// solveBuckets are the request-latency histogram bounds in seconds. The
+// low end resolves warm cache hits (tens of microseconds); the high end
+// cold full-grid experiment solves.
+var solveBuckets = []float64{1e-5, 1e-4, 0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10}
+
+// frameBuckets are the batch NDJSON frame write+flush latency bounds in
+// seconds: a frame is one JSON marshal plus one flushed write, so the
+// histogram is dominated by client backpressure, not solving.
+var frameBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 1}
+
+// solveOutcomes orders the outcome label values of the solve-duration
+// histogram. Every outcome is pre-registered so all series appear from the
+// first scrape, making absence-vs-zero unambiguous.
+var solveOutcomes = []string{"hit", "miss", "coalesced", "error"}
+
+// histogram is one fixed-bucket Prometheus histogram. Not self-locking:
+// the owning metrics mutex guards it.
+type histogram struct {
+	buckets []float64 // upper bounds, ascending; +Inf is implicit
+	counts  []uint64  // len(buckets)+1, last = +Inf overflow
+	sum     float64
+	total   uint64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.buckets, v)]++
+	h.sum += v
+	h.total++
+}
+
+func (h *histogram) clone() *histogram {
+	return &histogram{
+		buckets: h.buckets,
+		counts:  append([]uint64(nil), h.counts...),
+		sum:     h.sum,
+		total:   h.total,
+	}
+}
+
+// writeTo renders the histogram's series, appending labels (e.g.
+// `outcome="hit"`) to every line's label set.
+func (h *histogram) writeTo(w *strings.Builder, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, le := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, cum)
+	}
+}
 
 // metrics is a minimal dependency-free registry rendering the Prometheus
-// text exposition format. It tracks exactly what the service needs: request
-// counts by route and status code, the solve-latency histogram, and the
-// number of solves in flight; cache counters are read live from the store.
+// text exposition format. It tracks what the service needs: request counts
+// by route and status code, request-level solve latency split by cache
+// outcome, batch frame write latency, and the number of solves in flight.
+// Cache counters are read live from the store and solver-kernel counters
+// from the server's obs.Counters sink at render time.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]map[int]uint64 // route pattern -> status code -> count
-	counts   []uint64                  // histogram bucket counts (len(solveBuckets)+1, last = +Inf)
-	sum      float64                   // histogram sum of observations (seconds)
-	total    uint64                    // histogram observation count
+	solve    map[string]*histogram     // cache outcome -> request latency
+	frames   *histogram                // batch NDJSON frame write+flush latency
 	inFlight int64                     // solves currently executing
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		requests: make(map[string]map[int]uint64),
-		counts:   make([]uint64, len(solveBuckets)+1),
+		solve:    make(map[string]*histogram, len(solveOutcomes)),
+		frames:   newHistogram(frameBuckets),
 	}
+	for _, o := range solveOutcomes {
+		m.solve[o] = newHistogram(solveBuckets)
+	}
+	return m
 }
 
 func (m *metrics) observeRequest(route string, code int) {
@@ -45,13 +111,24 @@ func (m *metrics) observeRequest(route string, code int) {
 	byCode[code]++
 }
 
-func (m *metrics) observeSolve(seconds float64) {
+// observeSolve records one run request's latency under its cache outcome
+// ("hit", "miss", "coalesced" or "error").
+func (m *metrics) observeSolve(outcome string, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	i := sort.SearchFloat64s(solveBuckets, seconds)
-	m.counts[i]++
-	m.sum += seconds
-	m.total++
+	h := m.solve[outcome]
+	if h == nil {
+		h = newHistogram(solveBuckets)
+		m.solve[outcome] = h
+	}
+	h.observe(seconds)
+}
+
+// observeFrame records one batch frame's write+flush latency.
+func (m *metrics) observeFrame(seconds float64) {
+	m.mu.Lock()
+	m.frames.observe(seconds)
+	m.mu.Unlock()
 }
 
 func (m *metrics) solveStarted() {
@@ -71,9 +148,8 @@ func (m *metrics) solveFinished() {
 // /metrics reader cannot stall request and solve accounting.
 type renderSnapshot struct {
 	requests map[string]map[int]uint64
-	counts   []uint64
-	sum      float64
-	total    uint64
+	solve    map[string]*histogram
+	frames   *histogram
 	inFlight int64
 }
 
@@ -82,9 +158,8 @@ func (m *metrics) snapshot() renderSnapshot {
 	defer m.mu.Unlock()
 	snap := renderSnapshot{
 		requests: make(map[string]map[int]uint64, len(m.requests)),
-		counts:   append([]uint64(nil), m.counts...),
-		sum:      m.sum,
-		total:    m.total,
+		solve:    make(map[string]*histogram, len(m.solve)),
+		frames:   m.frames.clone(),
 		inFlight: m.inFlight,
 	}
 	for r, byCode := range m.requests {
@@ -94,13 +169,18 @@ func (m *metrics) snapshot() renderSnapshot {
 		}
 		snap.requests[r] = cp
 	}
+	for o, h := range m.solve {
+		snap.solve[o] = h.clone()
+	}
 	return snap
 }
 
 // render writes the full exposition: request counters, cache gauges and
-// counters (from st), the in-flight gauge, the solve histogram, and uptime.
-// It formats from a snapshot so no lock is held while writing.
-func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float64) {
+// counters (from st), solver-kernel counters (from solver), the in-flight
+// gauge, the outcome-labeled solve histogram, the batch frame histogram,
+// build info, and uptime. It formats from a snapshot so no lock is held
+// while writing.
+func (m *metrics) render(w *strings.Builder, st cache.Stats, solver obs.SolveStats, build obs.BuildInfo, recorded uint64, uptimeSeconds float64) {
 	snap := m.snapshot()
 
 	fmt.Fprintf(w, "# HELP pubopt_http_requests_total HTTP requests served, by route pattern and status code.\n")
@@ -135,17 +215,35 @@ func (m *metrics) render(w *strings.Builder, st cache.Stats, uptimeSeconds float
 	gauge("pubopt_cache_max_entries", "The cache's LRU bound (0 = caching disabled).", float64(st.MaxEntries))
 	gauge("pubopt_runs_in_flight", "Solves currently executing.", float64(snap.inFlight))
 
-	fmt.Fprintf(w, "# HELP pubopt_solve_duration_seconds Latency of cache-miss solves (cold equilibrium computations).\n")
+	counter("pubopt_solver_solves_total", "Equilibrium kernel solves across all workers.", solver.Solves)
+	counter("pubopt_solver_constrained_total", "Kernel solves in the congested (root-finding) regime.", solver.Constrained)
+	counter("pubopt_solver_evals_total", "Aggregate-rate map evaluations (the unit of solver work).", solver.Evals)
+	counter("pubopt_solver_warm_brackets_total", "Root searches bracketed from a warm-start level.", solver.WarmBrackets)
+	counter("pubopt_solver_cold_brackets_total", "Root searches bracketed from the full level range.", solver.ColdBrackets)
+	counter("pubopt_solver_bisections_total", "Safeguard bisection steps forced inside the hybrid root search.", solver.Bisections)
+	counter("pubopt_solver_cycle_restarts_total", "Class-dynamics partition-cycle restarts (mover-cap halvings and indifference-band widenings).", solver.CycleRestarts)
+
+	counter("pubopt_events_recorded_total", "Flight-recorder events ever recorded (including overwritten ones).", recorded)
+
+	fmt.Fprintf(w, "# HELP pubopt_solve_duration_seconds Run request latency by cache outcome (hit, miss, coalesced, error).\n")
 	fmt.Fprintf(w, "# TYPE pubopt_solve_duration_seconds histogram\n")
-	var cum uint64
-	for i, le := range solveBuckets {
-		cum += snap.counts[i]
-		fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	outcomes := make([]string, 0, len(snap.solve))
+	for o := range snap.solve {
+		outcomes = append(outcomes, o)
 	}
-	cum += snap.counts[len(solveBuckets)]
-	fmt.Fprintf(w, "pubopt_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "pubopt_solve_duration_seconds_sum %g\n", snap.sum)
-	fmt.Fprintf(w, "pubopt_solve_duration_seconds_count %d\n", snap.total)
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		snap.solve[o].writeTo(w, "pubopt_solve_duration_seconds", fmt.Sprintf("outcome=%q", o))
+	}
+
+	fmt.Fprintf(w, "# HELP pubopt_batch_frame_write_seconds Batch NDJSON frame serialize+write+flush latency.\n")
+	fmt.Fprintf(w, "# TYPE pubopt_batch_frame_write_seconds histogram\n")
+	snap.frames.writeTo(w, "pubopt_batch_frame_write_seconds", "")
+
+	fmt.Fprintf(w, "# HELP pubopt_build_info Build metadata of the running binary; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE pubopt_build_info gauge\n")
+	fmt.Fprintf(w, "pubopt_build_info{version=%q,go_version=%q,revision=%q,modified=\"%t\"} 1\n",
+		build.Version, build.GoVersion, build.Revision, build.Modified)
 
 	gauge("pubopt_uptime_seconds", "Seconds since the server started.", uptimeSeconds)
 }

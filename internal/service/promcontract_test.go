@@ -1,0 +1,361 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Prometheus text-exposition contract tests: a minimal parser for the
+// format we emit, then structural invariants any scraper relies on —
+// well-formedness, TYPE declarations, counter monotonicity across scrapes,
+// and histogram bucket/sum/count consistency. These hold for every metric,
+// current and future, because they iterate what the endpoint serves rather
+// than a fixed name list.
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string            // metric name without the label block
+	labels map[string]string // parsed label block, empty map if none
+	value  float64
+}
+
+// promExposition is a parsed /metrics body.
+type promExposition struct {
+	types   map[string]string // metric family name -> declared TYPE
+	samples []promSample
+}
+
+// parseExposition parses the subset of the Prometheus text format the
+// service emits: # HELP / # TYPE comments and sample lines with optional
+// label blocks. It fails the test on anything malformed — that is the
+// point.
+func parseExposition(t *testing.T, body string) *promExposition {
+	t.Helper()
+	exp := &promExposition{types: make(map[string]string)}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", lineNo)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if prev, dup := exp.types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s (%s then %s)", lineNo, name, prev, typ)
+			}
+			exp.types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.Fields(line)) < 4 {
+				t.Fatalf("line %d: HELP comment without text: %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", lineNo, line)
+		}
+		sample := parseSampleLine(t, lineNo, line)
+		exp.samples = append(exp.samples, sample)
+	}
+	return exp
+}
+
+func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	sp := strings.LastIndex(line, " ")
+	if sp < 0 {
+		t.Fatalf("line %d: no value separator in %q", lineNo, line)
+	}
+	series, valStr := line[:sp], line[sp+1:]
+	value, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		t.Fatalf("line %d: unparseable value %q: %v", lineNo, valStr, err)
+	}
+	s := promSample{labels: make(map[string]string)}
+	if open := strings.Index(series, "{"); open >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			t.Fatalf("line %d: unterminated label block in %q", lineNo, series)
+		}
+		s.name = series[:open]
+		block := series[open+1 : len(series)-1]
+		for _, pair := range splitLabels(t, lineNo, block) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				t.Fatalf("line %d: label without '=' in %q", lineNo, pair)
+			}
+			key, quoted := pair[:eq], pair[eq+1:]
+			val, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("line %d: label %s has unquotable value %q: %v", lineNo, key, quoted, err)
+			}
+			if _, dup := s.labels[key]; dup {
+				t.Fatalf("line %d: duplicate label %q", lineNo, key)
+			}
+			s.labels[key] = val
+		}
+	} else {
+		s.name = series
+	}
+	if s.name == "" || strings.ContainsAny(s.name, "{} \"") {
+		t.Fatalf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	s.value = value
+	return s
+}
+
+// splitLabels splits a label block on commas outside quotes.
+func splitLabels(t *testing.T, lineNo int, block string) []string {
+	t.Helper()
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			if i == 0 || block[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth {
+		t.Fatalf("line %d: unbalanced quotes in label block %q", lineNo, block)
+	}
+	out = append(out, block[start:])
+	return out
+}
+
+// family strips the histogram sample suffix to find the declaring family.
+func family(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// scrape fetches and parses /metrics.
+func scrape(t *testing.T, s *Server) *promExposition {
+	t.Helper()
+	w := do(t, s, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", w.Code)
+	}
+	return parseExposition(t, w.Body.String())
+}
+
+// exercise drives enough traffic to touch every metric family: misses,
+// hits, an error, a batch list, and a 404.
+func exercise(t *testing.T, s *Server) {
+	t.Helper()
+	do(t, s, "POST", "/v1/runs", `{"scenario": "neutral-baseline"}`)
+	do(t, s, "POST", "/v1/runs", `{"scenario": "neutral-baseline"}`)
+	do(t, s, "POST", "/v1/runs", `{"scenario": "no-such-scenario"}`)
+	do(t, s, "POST", "/v1/batch", `{"scenarios": ["neutral-baseline", "archetypes-capacity"]}`)
+	do(t, s, "GET", "/v1/scenarios/no-such", "")
+}
+
+// TestPromExpositionWellFormed: every line parses, every sample's family
+// has a TYPE declaration, and the families the dashboard depends on exist.
+func TestPromExpositionWellFormed(t *testing.T) {
+	s, _ := newStubServer(Options{})
+	exercise(t, s)
+	exp := scrape(t, s)
+
+	for _, sample := range exp.samples {
+		fam := family(sample.name)
+		typ, ok := exp.types[fam]
+		if !ok {
+			t.Errorf("sample %s has no TYPE declaration (family %s)", sample.name, fam)
+			continue
+		}
+		if typ == "histogram" && fam == sample.name {
+			t.Errorf("histogram family %s exposed as a bare sample", fam)
+		}
+		if typ != "histogram" && fam != sample.name {
+			t.Errorf("%s sample %s carries a histogram suffix", typ, sample.name)
+		}
+		if sample.name == family(sample.name)+"_bucket" {
+			if _, ok := sample.labels["le"]; !ok {
+				t.Errorf("bucket sample %s without le label", sample.name)
+			}
+		}
+	}
+	for _, want := range []string{
+		"pubopt_http_requests_total", "pubopt_cache_hits_total",
+		"pubopt_cache_misses_total", "pubopt_cache_coalesced_total",
+		"pubopt_cache_evictions_total", "pubopt_cache_entries",
+		"pubopt_runs_in_flight", "pubopt_solver_solves_total",
+		"pubopt_solver_evals_total", "pubopt_solve_duration_seconds",
+		"pubopt_batch_frame_write_seconds", "pubopt_events_recorded_total",
+		"pubopt_build_info", "pubopt_uptime_seconds",
+	} {
+		if _, ok := exp.types[want]; !ok {
+			t.Errorf("exposition lost metric family %s", want)
+		}
+	}
+}
+
+// TestPromCounterMonotonicity: across two scrapes with traffic in between,
+// no counter sample decreases (identity = name + full label set).
+func TestPromCounterMonotonicity(t *testing.T) {
+	s, _ := newStubServer(Options{})
+	exercise(t, s)
+	before := scrape(t, s)
+	exercise(t, s)
+	after := scrape(t, s)
+
+	key := func(sample promSample) string {
+		parts := make([]string, 0, len(sample.labels))
+		for k, v := range sample.labels {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+		}
+		// Two labels at most in practice; order by simple insertion sort.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		return sample.name + "{" + strings.Join(parts, ",") + "}"
+	}
+	counterSample := func(exp *promExposition, sample promSample) bool {
+		typ := exp.types[family(sample.name)]
+		// Histogram _bucket and _count samples are cumulative too; _sum can
+		// only grow because observations are non-negative durations.
+		return typ == "counter" || typ == "histogram"
+	}
+	prev := make(map[string]float64)
+	for _, sample := range before.samples {
+		if counterSample(before, sample) {
+			prev[key(sample)] = sample.value
+		}
+	}
+	seen := 0
+	for _, sample := range after.samples {
+		if !counterSample(after, sample) {
+			continue
+		}
+		k := key(sample)
+		was, ok := prev[k]
+		if !ok {
+			continue // new series appearing is fine; disappearing is checked below
+		}
+		seen++
+		if sample.value < was {
+			t.Errorf("counter %s went backwards: %g -> %g", k, was, sample.value)
+		}
+	}
+	if seen < len(prev) {
+		t.Errorf("only %d of %d counter series survived the second scrape", seen, len(prev))
+	}
+}
+
+// TestPromHistogramConsistency: for every histogram series, buckets are
+// cumulative and non-decreasing in le order, the +Inf bucket equals _count,
+// and _sum is non-negative and zero iff count is zero (durations are
+// non-negative).
+func TestPromHistogramConsistency(t *testing.T) {
+	s, _ := newStubServer(Options{})
+	exercise(t, s)
+	exp := scrape(t, s)
+
+	// Group bucket samples per family + non-le label set.
+	type series struct {
+		les     []float64
+		cums    []float64
+		sum     float64
+		count   float64
+		hasSum  bool
+		hasCnt  bool
+		hasBkts bool
+	}
+	groups := make(map[string]*series)
+	groupKey := func(fam string, labels map[string]string) string {
+		k := fam
+		for lk, lv := range labels {
+			if lk != "le" {
+				k += "|" + lk + "=" + lv
+			}
+		}
+		return k
+	}
+	for _, sample := range exp.samples {
+		fam := family(sample.name)
+		if exp.types[fam] != "histogram" {
+			continue
+		}
+		g := groups[groupKey(fam, sample.labels)]
+		if g == nil {
+			g = &series{}
+			groups[groupKey(fam, sample.labels)] = g
+		}
+		switch {
+		case strings.HasSuffix(sample.name, "_bucket"):
+			g.hasBkts = true
+			le := math.Inf(1)
+			if sample.labels["le"] != "+Inf" {
+				v, err := strconv.ParseFloat(sample.labels["le"], 64)
+				if err != nil {
+					t.Fatalf("unparseable le %q", sample.labels["le"])
+				}
+				le = v
+			}
+			g.les = append(g.les, le)
+			g.cums = append(g.cums, sample.value)
+		case strings.HasSuffix(sample.name, "_sum"):
+			g.hasSum, g.sum = true, sample.value
+		case strings.HasSuffix(sample.name, "_count"):
+			g.hasCnt, g.count = true, sample.value
+		}
+	}
+	if len(groups) < len(solveOutcomes)+1 {
+		t.Fatalf("expected at least %d histogram series (outcomes + frames), got %d",
+			len(solveOutcomes)+1, len(groups))
+	}
+	for k, g := range groups {
+		if !g.hasBkts || !g.hasSum || !g.hasCnt {
+			t.Errorf("series %s incomplete: buckets=%t sum=%t count=%t", k, g.hasBkts, g.hasSum, g.hasCnt)
+			continue
+		}
+		last := math.Inf(-1)
+		prevCum := -1.0
+		for i, le := range g.les {
+			if le <= last {
+				t.Errorf("series %s: le bounds not ascending at index %d", k, i)
+			}
+			if g.cums[i] < prevCum {
+				t.Errorf("series %s: cumulative bucket counts decrease at le=%g", k, le)
+			}
+			last, prevCum = le, g.cums[i]
+		}
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			t.Errorf("series %s: missing +Inf bucket", k)
+			continue
+		}
+		if inf := g.cums[len(g.cums)-1]; inf != g.count {
+			t.Errorf("series %s: +Inf bucket %g != count %g", k, inf, g.count)
+		}
+		if g.sum < 0 {
+			t.Errorf("series %s: negative sum %g", k, g.sum)
+		}
+		if g.count == 0 && g.sum != 0 {
+			t.Errorf("series %s: zero observations but sum %g", k, g.sum)
+		}
+	}
+}

@@ -21,8 +21,12 @@
 //	POST /v1/experiments/{id}/run   run a figure experiment
 //	GET  /healthz                   liveness probe
 //	GET  /metrics                   Prometheus text-format metrics
+//	GET  /debug/events              flight recorder: the last N solve events
 //
-// See docs/SERVICE.md for the endpoint reference with examples.
+// Every request gets a trace ID (X-Trace-Id header) that correlates its
+// access log line, solve log line, and flight-recorder events; see
+// docs/OBSERVABILITY.md for the full telemetry reference and
+// docs/SERVICE.md for the endpoint reference with examples.
 package service
 
 import (
@@ -30,7 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -38,6 +42,7 @@ import (
 
 	"github.com/netecon-sim/publicoption/internal/cache"
 	"github.com/netecon-sim/publicoption/internal/experiment"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/scenario"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 )
@@ -49,6 +54,10 @@ import (
 // least the working set's cell count, or warm re-runs re-solve evicted
 // cells.
 const DefaultCacheEntries = 2048
+
+// DefaultFlightEvents is the flight recorder's ring capacity when
+// Options.FlightEvents is 0.
+const DefaultFlightEvents = 256
 
 // maxRequestBody bounds run-request bodies (inline scenarios included);
 // 1 MiB comfortably fits any plausible explicit CP population.
@@ -64,9 +73,17 @@ type Options struct {
 	// DefaultCacheEntries; negative disables caching (singleflight and the
 	// worker pool remain).
 	CacheEntries int
-	// Log receives one line per cold solve and per rejected request.
-	// Nil discards logs.
-	Log *log.Logger
+	// Logger receives structured logs: access lines at debug, cold-solve
+	// lines at info, failures at warn/error. Nil discards everything.
+	Logger *slog.Logger
+	// Trace echoes each request's trace ID in response bodies: the "trace"
+	// field of run responses and batch NDJSON frames. The X-Trace-Id header
+	// and the flight recorder carry trace IDs regardless.
+	Trace bool
+	// FlightEvents is the flight recorder's ring capacity (the last N solve
+	// events, served at GET /debug/events). 0 means DefaultFlightEvents;
+	// negative disables the recorder.
+	FlightEvents int
 }
 
 // Server is the HTTP service. Construct with New; it implements
@@ -75,9 +92,18 @@ type Server struct {
 	mux          *http.ServeMux
 	store        *cache.Store
 	metrics      *metrics
-	log          *log.Logger
+	logger       *slog.Logger
 	start        time.Time
 	solveWorkers int // default per-solve parallelism
+
+	// Observability state: the server-wide solver-telemetry sink (rendered
+	// as pubopt_solver_* counters), the bounded flight recorder behind
+	// GET /debug/events (nil when disabled), whether responses echo trace
+	// IDs, and the build stamp for pubopt_build_info.
+	counters obs.Counters
+	recorder *obs.Recorder
+	trace    bool
+	build    obs.BuildInfo
 
 	// Registry data precomputed at startup so the hot paths never re-derive
 	// it: the registries are immutable and scenario.All/Get deep-copy
@@ -88,7 +114,8 @@ type Server struct {
 	scenarioKeys    map[string]string             // name -> content-address cache key
 
 	// Runner indirection, overridable in tests to count or stub solves.
-	runScenario   func(s *scenario.Scenario, workers int) ([]*sweep.Table, error)
+	// stats receives the run's solver telemetry (nil-safe).
+	runScenario   func(s *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error)
 	runExperiment func(e *experiment.Experiment, cfg experiment.Config) ([]*sweep.Table, error)
 }
 
@@ -104,9 +131,13 @@ func New(opts Options) *Server {
 	} else if entries < 0 {
 		entries = 0
 	}
-	logger := opts.Log
+	logger := opts.Logger
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = obs.NopLogger()
+	}
+	events := opts.FlightEvents
+	if events == 0 {
+		events = DefaultFlightEvents
 	}
 	perSolve := runtime.GOMAXPROCS(0) / pool
 	if perSolve < 1 {
@@ -116,11 +147,14 @@ func New(opts Options) *Server {
 		mux:          http.NewServeMux(),
 		store:        cache.New(entries, pool),
 		metrics:      newMetrics(),
-		log:          logger,
+		logger:       logger,
 		start:        time.Now(),
 		solveWorkers: perSolve,
-		runScenario: func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
-			return sc.Run(scenario.RunOptions{Workers: workers})
+		recorder:     obs.NewRecorder(events),
+		trace:        opts.Trace,
+		build:        obs.Build(),
+		runScenario: func(sc *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error) {
+			return sc.Run(scenario.RunOptions{Workers: workers, Stats: stats})
 		},
 		runExperiment: func(e *experiment.Experiment, cfg experiment.Config) ([]*sweep.Table, error) {
 			return e.Run(cfg), nil
@@ -152,6 +186,7 @@ func New(opts Options) *Server {
 	s.handle("POST /v1/experiments/{id}/run", s.handleExperimentRun)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /debug/events", s.handleEvents)
 	return s
 }
 
@@ -163,25 +198,63 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // CacheStats exposes the equilibrium cache's counters (for tests and ops).
 func (s *Server) CacheStats() cache.Stats { return s.store.Stats() }
 
-// handle registers a routed handler wrapped with request counting, labeled
-// by the route pattern so metrics cardinality stays bounded.
+// handle registers a routed handler wrapped with the observability
+// middleware: a fresh trace ID on the request context (echoed in the
+// X-Trace-Id header), request counting labeled by the route pattern so
+// metrics cardinality stays bounded, a debug-level access log line, and
+// panic recovery — a panicking handler logs with its trace ID and answers
+// 500 instead of tearing down the connection with no record.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	route := pattern
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NewTraceID()
+		r = r.WithContext(obs.WithTraceID(r.Context(), id))
+		w.Header().Set("X-Trace-Id", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.logger.Error("handler panicked",
+					"route", route, "trace", id, "panic", fmt.Sprint(p))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error (trace %s)", id)
+				}
+				s.metrics.observeRequest(route, http.StatusInternalServerError)
+				return
+			}
+			s.metrics.observeRequest(route, sw.code)
+			s.logger.Debug("request",
+				"method", r.Method, "path", r.URL.Path, "status", sw.code,
+				"elapsed_ms", float64(time.Since(start).Microseconds())/1e3, "trace", id)
+		}()
 		h(sw, r)
-		s.metrics.observeRequest(route, sw.code)
 	})
 }
 
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes (the batch NDJSON writer needs them)
+// through the middleware wrapper, which would otherwise hide the underlying
+// ResponseWriter's http.Flusher.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -229,10 +302,13 @@ type RunResult struct {
 
 // RunResponse is what run endpoints return: the (possibly cached) result
 // plus how the cache satisfied the request and the request's wall time.
+// Trace carries the request's trace ID when the server runs with
+// Options.Trace (it always travels in the X-Trace-Id header).
 type RunResponse struct {
 	RunResult
 	Cache     string  `json:"cache"` // "hit", "miss" or "coalesced"
 	ElapsedMS float64 `json:"elapsed_ms"`
+	Trace     string  `json:"trace,omitempty"`
 }
 
 func tablesToWire(tables []*sweep.Table) []Table {
@@ -347,12 +423,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.solveWorkers
 	}
-	s.respondRun(w, key, func() (any, error) {
+	name := req.Scenario
+	if name == "" {
+		if sc, err := getScenario(); err == nil {
+			name = sc.Name
+		}
+	}
+	s.respondRun(w, r, "run", name, key, func(stats *obs.Counters) (any, error) {
 		sc, err := getScenario()
 		if err != nil {
 			return nil, err
 		}
-		tables, err := s.runScenario(sc, workers)
+		tables, err := s.runScenario(sc, workers, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +487,9 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		workers = s.solveWorkers
 	}
 	cfg := experiment.Config{Fast: req.Fast, Seed: req.Seed, CPs: req.CPs, Workers: workers}
-	s.respondRun(w, key, func() (any, error) {
+	// Experiments drive their own runner internals (experiment.Config has no
+	// stats plumbing), so their events carry zero solver telemetry.
+	s.respondRun(w, r, "experiment", e.ID, key, func(stats *obs.Counters) (any, error) {
 		tables, err := s.runExperiment(e, cfg)
 		if err != nil {
 			return nil, err
@@ -416,31 +500,70 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 
 // respondRun funnels both run endpoints through the cache and renders the
 // shared response envelope. The solve closure runs at most once per key
-// across all concurrent requests.
-func (s *Server) respondRun(w http.ResponseWriter, key string, solve func() (any, error)) {
+// across all concurrent requests; the stats sink it receives collects the
+// solve's kernel telemetry for the server-wide counters and the flight
+// recorder. Coalesced waiters honor request-context cancellation.
+func (s *Server) respondRun(w http.ResponseWriter, r *http.Request, kind, name, key string, solve func(stats *obs.Counters) (any, error)) {
 	reqStart := time.Now()
-	val, status, err := s.store.Do(key, func() (any, error) {
+	// delta is only written when the solve closure runs, and Do runs it in
+	// this goroutine (coalesced callers never execute it), so no lock.
+	var delta obs.SolveStats
+	val, status, err := s.store.DoContext(r.Context(), key, func() (any, error) {
 		s.metrics.solveStarted()
 		defer s.metrics.solveFinished()
-		solveStart := time.Now()
-		v, err := solve()
-		s.metrics.observeSolve(time.Since(solveStart).Seconds())
+		var sink obs.Counters
+		v, err := solve(&sink)
+		delta = sink.Snapshot()
+		s.counters.Add(delta)
 		return v, err
 	})
+	elapsed := time.Since(reqStart)
+	outcome := status.String()
 	if err != nil {
-		s.log.Printf("solve %s: %v", key[:12], err)
+		outcome = "error"
+	}
+	s.metrics.observeSolve(outcome, elapsed.Seconds())
+	trace := obs.TraceID(r.Context())
+	ev := obs.Event{
+		Time: time.Now(), Trace: trace, Kind: kind, Name: name,
+		Key: shortKey(key), Outcome: outcome,
+		DurationMS: float64(elapsed.Microseconds()) / 1e3,
+		Solver:     delta,
+	}
+	if err != nil {
+		ev.Error = err.Error()
+		s.recorder.Record(ev)
+		s.logger.Warn("solve failed",
+			"kind", kind, "name", name, "key", shortKey(key), "trace", trace, "error", err)
 		writeError(w, http.StatusInternalServerError, "solve failed: %v", err)
 		return
 	}
+	s.recorder.Record(ev)
 	result := val.(*RunResult)
 	if status == cache.Miss {
-		s.log.Printf("solved %s %q in %.3fs (key %s)", result.Kind, result.Name, time.Since(reqStart).Seconds(), key[:12])
+		s.logger.Info("solved",
+			"kind", result.Kind, "name", result.Name, "key", shortKey(key),
+			"elapsed_s", elapsed.Seconds(), "solves", delta.Solves,
+			"evals", delta.Evals, "trace", trace)
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	resp := RunResponse{
 		RunResult: *result,
 		Cache:     status.String(),
-		ElapsedMS: float64(time.Since(reqStart).Microseconds()) / 1e3,
-	})
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+	}
+	if s.trace {
+		resp.Trace = trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shortKey abbreviates a cache key for logs and events: enough hex to
+// correlate, not enough to drown the line.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -452,9 +575,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.metrics.render(&b, s.store.Stats(), time.Since(s.start).Seconds())
+	s.metrics.render(&b, s.store.Stats(), s.counters.Snapshot(), s.build,
+		s.recorder.Recorded(), time.Since(s.start).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
+}
+
+// handleEvents serves the flight recorder: the last N solve spans (runs,
+// experiments, grids and solved cells) with trace IDs, cache outcomes and
+// solver-telemetry deltas, oldest first. With the recorder disabled
+// (Options.FlightEvents < 0) capacity is 0 and events null.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.recorder.Cap(),
+		"recorded": s.recorder.Recorded(),
+		"events":   s.recorder.Events(),
+	})
 }
 
 // ---------------------------------------------------------------------------

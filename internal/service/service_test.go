@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/netecon-sim/publicoption/internal/experiment"
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/scenario"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 )
@@ -29,7 +30,7 @@ func stubTables() []*sweep.Table {
 func newStubServer(opts Options) (*Server, *atomic.Int64) {
 	s := New(opts)
 	var calls atomic.Int64
-	s.runScenario = func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
+	s.runScenario = func(sc *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error) {
 		calls.Add(1)
 		return stubTables(), nil
 	}
@@ -159,7 +160,7 @@ func TestRunConcurrentIdenticalRequestsSolveOnce(t *testing.T) {
 	// Make the solve slow enough that all clients pile onto one flight.
 	release := make(chan struct{})
 	entered := make(chan struct{})
-	s.runScenario = func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
+	s.runScenario = func(sc *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error) {
 		calls.Add(1)
 		close(entered)
 		<-release
@@ -342,7 +343,7 @@ func TestExperimentRun(t *testing.T) {
 func TestRunnerErrorIsNotCached(t *testing.T) {
 	s := New(Options{})
 	var calls atomic.Int64
-	s.runScenario = func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
+	s.runScenario = func(sc *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error) {
 		if calls.Add(1) == 1 {
 			return nil, fmt.Errorf("transient failure")
 		}
@@ -385,8 +386,12 @@ func TestMetricsExposition(t *testing.T) {
 		"pubopt_cache_coalesced_total 0",
 		"pubopt_cache_entries 1",
 		"pubopt_runs_in_flight 0",
-		"pubopt_solve_duration_seconds_count 1",
-		`pubopt_solve_duration_seconds_bucket{le="+Inf"} 1`,
+		`pubopt_solve_duration_seconds_count{outcome="miss"} 1`,
+		`pubopt_solve_duration_seconds_count{outcome="hit"} 1`,
+		`pubopt_solve_duration_seconds_bucket{outcome="miss",le="+Inf"} 1`,
+		`pubopt_solve_duration_seconds_count{outcome="error"} 0`,
+		"pubopt_solver_solves_total",
+		"pubopt_build_info",
 		"pubopt_uptime_seconds",
 	} {
 		if !strings.Contains(body, want) {
@@ -397,7 +402,7 @@ func TestMetricsExposition(t *testing.T) {
 
 func TestLRUBoundHoldsUnderManyDistinctRuns(t *testing.T) {
 	s := New(Options{CacheEntries: 3})
-	s.runScenario = func(sc *scenario.Scenario, workers int) ([]*sweep.Table, error) {
+	s.runScenario = func(sc *scenario.Scenario, workers int, stats *obs.Counters) ([]*sweep.Table, error) {
 		return stubTables(), nil
 	}
 	// 8 distinct inline scenarios (differing capacity) against a 3-entry cache.

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -140,6 +141,16 @@ func (g *Grid) WriteCSV(w io.Writer) error {
 //
 //pubopt:hotpath
 func RunRows(workers, rows int, run func(worker, row int)) {
+	RunRowsContext(nil, workers, rows, run)
+}
+
+// RunRowsContext is RunRows with cooperative cancellation: once ctx is done
+// no worker claims another row (rows already claimed run to completion, so
+// per-worker solver state is never abandoned mid-cell). A nil ctx never
+// cancels and behaves exactly like RunRows.
+//
+//pubopt:hotpath
+func RunRowsContext(ctx context.Context, workers, rows int, run func(worker, row int)) {
 	if rows <= 0 {
 		return
 	}
@@ -148,6 +159,9 @@ func RunRows(workers, rows int, run func(worker, row int)) {
 	}
 	if workers == 1 {
 		for row := 0; row < rows; row++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			run(0, row)
 		}
 		return
@@ -177,6 +191,9 @@ func RunRows(workers, rows int, run func(worker, row int)) {
 				}
 			}()
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				row := int(next.Add(1)) - 1
 				if row >= rows {
 					return

@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunRowsContextCancel: after cancellation no new rows are claimed, but
+// rows already running finish (solver state is never abandoned mid-cell).
+func TestRunRowsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	var once sync.Once
+	RunRowsContext(ctx, 2, 100, func(worker, row int) {
+		ran.Add(1)
+		once.Do(cancel)
+	})
+	if n := ran.Load(); n < 1 || n > 3 {
+		// At most one in-flight row per worker after the cancel, plus the
+		// canceling row itself.
+		t.Fatalf("ran %d rows after early cancel, want 1..3", n)
+	}
+}
+
+// TestRunRowsContextPreCanceled: a dead context runs nothing.
+func TestRunRowsContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	RunRowsContext(ctx, 4, 50, func(worker, row int) {
+		t.Error("row ran under a dead context")
+	})
+	// Single-worker path too.
+	RunRowsContext(ctx, 1, 50, func(worker, row int) {
+		t.Error("row ran under a dead context (sequential path)")
+	})
+}
+
+// TestRunRowsContextNil: nil context means run everything, like RunRows.
+func TestRunRowsContextNil(t *testing.T) {
+	var ran atomic.Int64
+	RunRowsContext(nil, 3, 20, func(worker, row int) { ran.Add(1) })
+	if ran.Load() != 20 {
+		t.Fatalf("nil-context run covered %d/20 rows", ran.Load())
+	}
+}

@@ -13,7 +13,8 @@ import (
 type Service = service.Server
 
 // ServiceOptions configures NewService: solve-pool size, cache bound,
-// logging.
+// structured logging, trace-ID echoing, and the flight recorder's capacity
+// (see docs/OBSERVABILITY.md).
 type ServiceOptions = service.Options
 
 // Service response shapes, exported for typed clients.
