@@ -15,6 +15,10 @@
 //	pubopt grid run --name <name> | --json <file>  [-format heatmap|csv]
 //	                                   [-layer NAME] [-out DIR]
 //	                                   [-seed N] [-cps N] [-workers N]
+//	pubopt simulate list
+//	pubopt simulate run --name <name> | --json <file>  [-format chart|csv|heatmap]
+//	                                   [-layer NAME] [-out DIR]
+//	                                   [-seed N] [-cps N] [-workers N]
 //	pubopt serve [-addr HOST:PORT] [-workers N] [-cache-entries N]
 //	             [-log-level LEVEL] [-log-format text|json] [-trace]
 //	             [-events N] [-pprof]
@@ -93,6 +97,8 @@ func run(args []string) error {
 		return scenarioCmd(args[1:])
 	case "grid":
 		return gridCmd(args[1:])
+	case "simulate":
+		return simulateCmd(args[1:])
 	case "verify":
 		return verifyCmd(args[1:])
 	case "validate":
@@ -119,6 +125,9 @@ commands:
                             run --name <name> | --json <file>
   grid <subcmd>             2-D grid sweeps (γ×ν, σ×ν, c×κ, ...): list,
                             run --name <name> | --json <file>
+  simulate <subcmd>         discrete-time market dynamics (policies,
+                            traffic, autoscaling; see docs/DYNAMICS.md):
+                            list, run --name <name> | --json <file>
   serve [flags]             HTTP query service with a content-addressed
                             equilibrium cache (see docs/SERVICE.md)
   verify [seed]             run the theorem battery (Axioms 1-4, Theorems

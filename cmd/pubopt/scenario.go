@@ -26,6 +26,8 @@ func scenarioCmd(args []string) error {
 			marker := ""
 			if s.IsGrid() {
 				marker = " [grid: run with 'pubopt grid run']"
+			} else if s.IsDynamic() {
+				marker = " [dynamics: run with 'pubopt simulate run']"
 			}
 			fmt.Printf("%-26s %s%s\n", s.Name, s.Title, marker)
 		}
@@ -120,6 +122,9 @@ func scenarioRunCmd(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if s.IsDynamic() {
+		return fmt.Errorf("scenario %q is a dynamics simulation; run it with 'pubopt simulate run'", s.Name)
 	}
 	if err := s.ApplyEnsembleOverrides(*seed, *cps); err != nil {
 		return err

@@ -1,0 +1,46 @@
+package publicoption
+
+import (
+	"github.com/netecon-sim/publicoption/internal/dynamics"
+	"github.com/netecon-sim/publicoption/internal/scenario"
+)
+
+// Market-dynamics surface: scenarios with a "dynamics" block run through
+// discrete time instead of a parameter sweep — a deterministic
+// collector→optimizer→actuator tick loop in which traffic varies, provider
+// policies re-price, consumers migrate with inertia, and the Public Option
+// autoscales toward an M/M/1 delay target. See docs/DYNAMICS.md for the
+// loop model and docs/SCENARIOS.md for the JSON schema.
+
+type (
+	// ScenarioDynamics declares a scenario's dynamics block; setting it on
+	// Scenario.Dynamics turns the scenario into a tick simulation solved by
+	// Simulate.
+	ScenarioDynamics = scenario.DynamicsSpec
+	// ScenarioTraffic declares the demand process driving a simulation
+	// (constant, diurnal, step, ramp, or seeded noise).
+	ScenarioTraffic = scenario.TrafficSpec
+	// ScenarioPolicy declares one provider's per-tick pricing policy
+	// (fixed, best_response, gradient, or sticky).
+	ScenarioPolicy = scenario.PolicySpec
+	// ScenarioAutoscale declares the Public Option's capacity controller.
+	ScenarioAutoscale = scenario.AutoscaleSpec
+	// Trajectory is a completed simulation: one TrajectoryTick per tick.
+	Trajectory = dynamics.Trajectory
+	// TrajectoryTick is one tick's full observable outcome — shares,
+	// prices, capacities, surplus, revenue, utilization, and the Public
+	// Option's M/M/1 delay.
+	TrajectoryTick = dynamics.TickRecord
+	// SimulateOptions controls execution, not meaning.
+	SimulateOptions = dynamics.Options
+)
+
+// DynamicsScenarioNames lists the built-in dynamics scenarios, sorted.
+func DynamicsScenarioNames() []string { return scenario.DynamicsNames() }
+
+// Simulate runs a dynamics scenario's full trajectory. Render the result
+// with Trajectory.Tables (time-series tables for RenderChart/WriteCSV) or
+// Trajectory.Grid (a providers×ticks heatmap for RenderHeatmap).
+func Simulate(s *Scenario, opt SimulateOptions) (*Trajectory, error) {
+	return dynamics.Run(s, opt)
+}

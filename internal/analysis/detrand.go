@@ -14,6 +14,8 @@ import (
 var detRandPackages = []string{
 	"internal/alloc",
 	"internal/core",
+	"internal/dynamics",
+	"internal/mm1",
 	"internal/scenario",
 	"internal/sweep",
 	"internal/traffic",

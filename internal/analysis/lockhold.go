@@ -23,6 +23,8 @@ var lockHoldPackages = []string{
 var lockHoldSolverPackages = []string{
 	"internal/alloc",
 	"internal/core",
+	"internal/dynamics",
+	"internal/mm1",
 	"internal/scenario",
 	"internal/sweep",
 	"internal/experiment",

@@ -1,0 +1,55 @@
+package dynamics
+
+import (
+	"testing"
+
+	"github.com/netecon-sim/publicoption/internal/scenario"
+)
+
+// BenchmarkSimulate times full built-in trajectories and reports the
+// per-tick cost — the number CI publishes in BENCH_dynamics.json. The
+// -benchmem allocs/op figure is the whole-run budget: per tick it is
+// dominated by the TickRecord's result slices (inherent: records are
+// returned to the caller), while the tick-internal hot path (scalePop,
+// advanceShares) is pinned allocation-free by TestTickHotPathZeroAlloc and
+// the hotpathalloc analyzer.
+func BenchmarkSimulate(b *testing.B) {
+	for _, name := range []string{"dyn-convergence", "dyn-demand-shock"} {
+		sc, ok := scenario.Get(name)
+		if !ok {
+			b.Fatalf("built-in scenario %q missing", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(sc, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perTick := float64(b.Elapsed().Nanoseconds()) / float64(b.N*sc.Dynamics.Ticks)
+			b.ReportMetric(perTick, "ns/tick")
+		})
+	}
+}
+
+// TestTickHotPathZeroAlloc pins the //pubopt:hotpath functions — the only
+// per-tick code that runs outside the solver kernels — at zero heap
+// allocations, the dynamic counterpart of the hotpathalloc static gate.
+func TestTickHotPathZeroAlloc(t *testing.T) {
+	sc, ok := scenario.Get("dyn-convergence")
+	if !ok {
+		t.Fatal("built-in scenario dyn-convergence missing")
+	}
+	e, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step() // warm every lazily-built buffer
+	target := append([]float64(nil), e.shares...)
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.scalePop(1.25)
+		e.advanceShares(target)
+	}); allocs != 0 {
+		t.Fatalf("tick hot path allocates %v times per run, want 0", allocs)
+	}
+}

@@ -93,6 +93,27 @@ func Solve(nu float64, pop traffic.Population) *Equilibrium {
 	return eq
 }
 
+// CapacityForDelay inverts Solve in capacity: the per-capita capacity ν at
+// which the class equilibrium's mean sojourn time equals w exactly,
+//
+//	ν = λ(w) + 1/w = Σ_i λ̂_i·exp(−γ_i·w) + 1/w,
+//
+// in closed form — at delay w every CP's carried load is determined, and the
+// queue's residual capacity over that load must be 1/w. It is the actuator
+// primitive of internal/dynamics autoscaling: Solve(CapacityForDelay(w, pop),
+// pop).W == w up to root-finder tolerance. Panics on non-positive or
+// non-finite w (matching Solve's domain: any ν > 0 yields finite positive W).
+func CapacityForDelay(w float64, pop traffic.Population) float64 {
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("mm1: CapacityForDelay with W=%g", w))
+	}
+	nu := 1 / w
+	for i := range pop {
+		nu += pop[i].UnconstrainedPerCapitaRate() * math.Exp(-gamma(&pop[i])*w)
+	}
+	return nu
+}
+
 // ClassOutcome is the M/M/1 analogue of the core package's two-class
 // equilibrium: a premium M/M/1 queue priced at c and a free ordinary queue.
 type ClassOutcome struct {

@@ -1,0 +1,139 @@
+package mm1
+
+import (
+	"math"
+	"testing"
+)
+
+// Property battery for the queueing primitives the dynamics actuator leans
+// on. Each property is checked over several seeded ensembles and a capacity
+// grid, so a regression in the root finder or the closed-form inverse shows
+// up as a law violation, not a drifted constant.
+
+// TestLittlesLawResidual pins the M/M/1 identity at the solved point: the
+// residual capacity over the carried load is exactly the service headroom,
+// W·(ν − λ) = 1. This is Little's law combined with the exponential-server
+// sojourn time — the relation CapacityForDelay inverts in closed form.
+func TestLittlesLawResidual(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		pop := ensemble(seed, 60)
+		for _, nu := range []float64{0.5, 1, 2, 5, 10, 40} {
+			eq := Solve(nu, pop)
+			if r := math.Abs(eq.W*(eq.Nu-eq.TotalLoad()) - 1); r > 1e-9 {
+				t.Errorf("seed %d ν=%g: |W·(ν−λ)−1| = %g, want < 1e-9", seed, nu, r)
+			}
+		}
+	}
+}
+
+// TestUtilizationAndLoadMonotoneInCapacity checks the monotone structure
+// of utilization ρ = λ/ν: carried load strictly grows with capacity (lower
+// delay unlocks suppressed demand), ρ stays strictly inside (0, 1) — the
+// queue never saturates and never idles with demand present — and ρ obeys
+// the exact identity ρ = 1 − 1/(ν·W). Note ρ itself is deliberately NOT
+// asserted monotone: it rises from ≈0 at tiny ν (where W ≈ 1/ν and nearly
+// all demand is suppressed), peaks, and only then falls toward λ̂/ν — a
+// shape this test pins by checking ρ is unimodal-bounded, not decreasing.
+func TestUtilizationAndLoadMonotoneInCapacity(t *testing.T) {
+	for seed := uint64(4); seed <= 6; seed++ {
+		pop := ensemble(seed, 60)
+		prevLoad := 0.0
+		for _, nu := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 64} {
+			eq := Solve(nu, pop)
+			rho := eq.TotalLoad() / eq.Nu
+			if rho <= 0 || rho >= 1 {
+				t.Fatalf("seed %d ν=%g: utilization %g outside (0, 1)", seed, nu, rho)
+			}
+			if r := math.Abs(rho - (1 - 1/(eq.Nu*eq.W))); r > 1e-9 {
+				t.Errorf("seed %d ν=%g: ρ identity residual %g, want < 1e-9", seed, nu, r)
+			}
+			if eq.TotalLoad() <= prevLoad {
+				t.Errorf("seed %d ν=%g: carried load %g did not grow from %g", seed, nu, eq.TotalLoad(), prevLoad)
+			}
+			prevLoad = eq.TotalLoad()
+		}
+		// Far past saturation the unlocked demand is exhausted: utilization
+		// must be strictly falling between well-provisioned capacities.
+		hi1 := Solve(64, pop)
+		hi2 := Solve(128, pop)
+		if r1, r2 := hi1.TotalLoad()/hi1.Nu, hi2.TotalLoad()/hi2.Nu; r2 >= r1 {
+			t.Errorf("seed %d: utilization %g→%g did not fall in the well-provisioned regime", seed, r1, r2)
+		}
+	}
+}
+
+// TestDelayBlowsUpAsCapacityVanishes checks W → ∞ as ν → 0⁺ (ρ → 1): the
+// queue saturates and the sojourn time grows without bound, monotonically.
+func TestDelayBlowsUpAsCapacityVanishes(t *testing.T) {
+	pop := ensemble(7, 40)
+	prev := 0.0
+	for _, nu := range []float64{1, 0.1, 0.01, 1e-3, 1e-4, 1e-5} {
+		eq := Solve(nu, pop)
+		if eq.W <= prev {
+			t.Fatalf("ν=%g: W=%g did not grow from %g as capacity shrank", nu, eq.W, prev)
+		}
+		prev = eq.W
+	}
+	if prev < 1e4 {
+		t.Fatalf("W(ν=1e-5) = %g; delay must blow up toward saturation", prev)
+	}
+}
+
+// TestCapacityForDelayInvertsSolve pins the closed-form inverse against the
+// root finder from both directions: Solve at the returned capacity lands on
+// the requested delay, and CapacityForDelay at a solved delay returns the
+// capacity (each within root-finder tolerance).
+func TestCapacityForDelayInvertsSolve(t *testing.T) {
+	for seed := uint64(8); seed <= 10; seed++ {
+		pop := ensemble(seed, 60)
+		for _, w := range []float64{0.02, 0.1, 0.5, 1, 5, 50} {
+			nu := CapacityForDelay(w, pop)
+			if !(nu > 1/w) {
+				t.Fatalf("seed %d W=%g: capacity %g below the bare headroom 1/W", seed, w, nu)
+			}
+			if got := Solve(nu, pop).W; math.Abs(got-w) > 1e-6*w {
+				t.Errorf("seed %d: Solve(CapacityForDelay(%g)).W = %g", seed, w, got)
+			}
+		}
+		for _, nu := range []float64{0.5, 2, 10} {
+			eq := Solve(nu, pop)
+			if got := CapacityForDelay(eq.W, pop); math.Abs(got-nu) > 1e-6*nu {
+				t.Errorf("seed %d: CapacityForDelay(Solve(%g).W) = %g", seed, nu, got)
+			}
+		}
+	}
+}
+
+// TestCapacityForDelayMonotoneAndEmpty: a tighter delay target needs more
+// capacity, and with no subscribers the queue still needs 1/W of service
+// headroom to answer in W.
+func TestCapacityForDelayMonotoneAndEmpty(t *testing.T) {
+	pop := ensemble(11, 60)
+	prev := math.Inf(1)
+	for _, w := range []float64{0.05, 0.1, 0.5, 1, 10} {
+		nu := CapacityForDelay(w, pop)
+		if nu >= prev {
+			t.Fatalf("W=%g: capacity %g did not fall as the target loosened from %g", w, nu, prev)
+		}
+		prev = nu
+	}
+	if got, want := CapacityForDelay(0.25, nil), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("empty population: CapacityForDelay(0.25) = %g, want %g", got, want)
+	}
+}
+
+// TestCapacityForDelayPanicsOutsideDomain pins the domain contract shared
+// with Solve: only positive finite delays are meaningful.
+func TestCapacityForDelayPanicsOutsideDomain(t *testing.T) {
+	pop := ensemble(12, 10)
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CapacityForDelay(%g) did not panic", w)
+				}
+			}()
+			CapacityForDelay(w, pop)
+		}()
+	}
+}

@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netecon-sim/publicoption/internal/numeric"
+)
+
+// Dynamics extends the scenario schema from static snapshots to discrete-
+// time market simulations: the same population and providers, advanced tick
+// by tick through a collector→optimizer→actuator reconcile loop
+// (internal/dynamics). A scenario with a Dynamics block sweeps the "time"
+// axis — each sweep position is one tick — and is solved by dynamics.Run,
+// streamed by POST /v1/simulate, or rendered by `pubopt simulate`; the
+// static runners (Run, RunGrid, SampleEquilibria) reject it.
+
+// AxisTime is the sweep axis of dynamic scenarios: simulation ticks
+// t = 0, 1, …, Ticks−1. It is valid only alongside a Dynamics block, whose
+// Ticks field defines the grid (Points and Values must stay unset).
+const AxisTime = "time"
+
+// Dynamics tick-count bound: a /v1/simulate request streams one frame per
+// tick, so the bound keeps a single request's work and output finite.
+const maxDynamicsTicks = 100000
+
+// DynamicsSpec declares the simulation loop of a dynamic scenario: how many
+// ticks to run, how realized traffic varies over time (the collector's
+// observation), how providers re-price (the optimizer's policies), how
+// sluggishly consumers migrate, and how the Public Option autoscales its
+// capacity (the actuator).
+type DynamicsSpec struct {
+	// Ticks is the number of simulation steps (1 ≤ Ticks ≤ 100000).
+	Ticks int `json:"ticks"`
+	// Inertia is the consumer-migration stickiness λ ∈ [0, 1): each tick
+	// market shares move m(t+1) = λ·m(t) + (1−λ)·m*(t), where m* is the
+	// instantaneous Assumption-5 migration equilibrium. 0 jumps straight to
+	// m* every tick; values near 1 migrate slowly.
+	Inertia float64 `json:"inertia,omitempty"`
+	// Traffic selects the time-varying demand process; nil holds demand
+	// constant at the declared population.
+	Traffic *TrafficSpec `json:"traffic,omitempty"`
+	// Policies assigns one re-pricing policy per provider, in provider
+	// order. Empty freezes every provider at its declared strategy; when
+	// set, it must list exactly one policy per provider (the Public Option
+	// must be "fixed" — it never prices by definition).
+	Policies []PolicySpec `json:"policies,omitempty"`
+	// Autoscale, when set, lets the Public Option adjust its absolute
+	// capacity toward an M/M/1 delay target (internal/mm1). Requires a
+	// Public Option provider.
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+}
+
+// Traffic processes.
+const (
+	TrafficConstant = "constant" // multiplier 1 every tick
+	TrafficDiurnal  = "diurnal"  // 1 + A·sin(2πt/P)
+	TrafficStep     = "step"     // 1 until tick At, then To
+	TrafficRamp     = "ramp"     // linear 1 → To over the run
+	TrafficNoise    = "noise"    // 1 + A·(2u_t − 1), u_t seeded per tick
+)
+
+// TrafficSpec is the time-varying demand process: each tick every CP's
+// unconstrained throughput θ̂_i is scaled by a multiplier that depends only
+// on (spec, tick) — stateless in time, so a simulation can resume from any
+// cached tick without replaying the process.
+type TrafficSpec struct {
+	// Process is one of the Traffic* constants.
+	Process string `json:"process"`
+	// Amplitude is the relative swing A of "diurnal" and "noise", in [0, 1).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Period is the tick period P of "diurnal" (≥ 2).
+	Period int `json:"period,omitempty"`
+	// At is the tick the "step" process switches at (0 ≤ At < Ticks).
+	At int `json:"at,omitempty"`
+	// To is the terminal multiplier of "step" and "ramp" (> 0, finite).
+	To float64 `json:"to,omitempty"`
+	// Seed drives the per-tick draws of "noise" (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Multiplier returns the demand multiplier applied to every θ̂_i at tick t.
+// It is a pure function of (spec, t): the "noise" process derives each
+// tick's draw from a fresh tick-keyed RNG rather than advancing a stream,
+// so trajectories resume mid-run bit-identically.
+func (d *DynamicsSpec) Multiplier(t int) float64 {
+	tr := d.Traffic
+	if tr == nil {
+		return 1
+	}
+	switch tr.Process {
+	case TrafficDiurnal:
+		return 1 + tr.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(tr.Period))
+	case TrafficStep:
+		if t >= tr.At {
+			return tr.To
+		}
+		return 1
+	case TrafficRamp:
+		if d.Ticks <= 1 {
+			return tr.To
+		}
+		f := float64(t) / float64(d.Ticks-1)
+		if f > 1 {
+			f = 1
+		}
+		return 1 + (tr.To-1)*f
+	case TrafficNoise:
+		u := numeric.NewRNG(tr.Seed ^ (0x9e3779b97f4a7c15 * uint64(t+1))).Float64()
+		return 1 + tr.Amplitude*(2*u-1)
+	}
+	return 1 // "constant" (and the zero value, which Validate rejects)
+}
+
+// Policy kinds.
+const (
+	PolicyFixed        = "fixed"         // hold the declared strategy
+	PolicyBestResponse = "best-response" // local price search, argmax objective
+	PolicyGradient     = "gradient"      // finite-difference gradient ascent
+	PolicySticky       = "sticky"        // best-response adopted only past a threshold
+)
+
+// Policy objectives.
+const (
+	ObjectiveRevenue = "revenue" // per-capita premium revenue Ψ·m at the current share
+	ObjectiveShare   = "share"   // market share after migration (a full market solve per candidate)
+)
+
+// PolicySpec is one provider's re-pricing policy. Policies adjust only the
+// premium price c; the premium capacity fraction κ stays declared (the
+// paper's differentiation games move along the price axis).
+type PolicySpec struct {
+	// Kind is one of the Policy* constants; "" means "fixed".
+	Kind string `json:"kind,omitempty"`
+	// Objective is what the policy climbs: "revenue" (default) or "share".
+	Objective string `json:"objective,omitempty"`
+	// Step is the price search radius of "best-response"/"sticky" and the
+	// finite-difference width of "gradient" (> 0; 0 means 0.05).
+	Step float64 `json:"step,omitempty"`
+	// Gain multiplies the gradient update c ← c + Gain·∂objective/∂c
+	// (> 0; 0 means 0.5). Overshooting gains are how oscillation
+	// scenarios are built.
+	Gain float64 `json:"gain,omitempty"`
+	// Threshold is the minimum objective improvement a "sticky" provider
+	// requires before it re-prices (≥ 0; 0 means 0.01).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// kind resolves the policy kind with "" meaning "fixed".
+func (p PolicySpec) kind() string {
+	if p.Kind == "" {
+		return PolicyFixed
+	}
+	return p.Kind
+}
+
+// AutoscaleSpec is the actuator: each tick the Public Option's absolute
+// per-capita capacity moves a fraction Gain of the way toward the capacity
+// that would hold its subscribers' M/M/1 delay at DelayTarget
+// (mm1.CapacityForDelay scaled by its market share), clamped to
+// [Min, Max] × its initial capacity.
+type AutoscaleSpec struct {
+	// DelayTarget is the mean-sojourn-time target W* (> 0, finite).
+	DelayTarget float64 `json:"delay_target"`
+	// Gain is the per-tick adjustment fraction in (0, 1]; 0 means 0.5.
+	Gain float64 `json:"gain,omitempty"`
+	// Min and Max bound capacity as multiples of the Public Option's
+	// initial capacity: 0 < Min ≤ 1 ≤ Max. 0 means 0.25 and 4.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+}
+
+// WithDefaults returns the spec with unset knobs filled in, so the engine
+// and documentation resolve defaults identically. It never mutates the
+// receiver — canonical JSON (and hence cache keys) keeps the sparse form.
+func (a AutoscaleSpec) WithDefaults() AutoscaleSpec {
+	if a.Gain <= 0 || a.Gain > 1 {
+		a.Gain = 0.5
+	}
+	if a.Min <= 0 || a.Min > 1 {
+		a.Min = 0.25
+	}
+	if a.Max < 1 {
+		a.Max = 4
+	}
+	return a
+}
+
+// WithDefaults resolves the policy's unset numeric knobs.
+func (p PolicySpec) WithDefaults() PolicySpec {
+	p.Kind = p.kind()
+	if p.Objective == "" {
+		p.Objective = ObjectiveRevenue
+	}
+	if p.Step <= 0 {
+		p.Step = 0.05
+	}
+	if p.Gain <= 0 {
+		p.Gain = 0.5
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 0.01
+	}
+	return p
+}
+
+// IsDynamic reports whether the scenario declares a dynamics simulation
+// (solve with the internal/dynamics engine, not Run/RunGrid).
+func (s *Scenario) IsDynamic() bool { return s.Dynamics != nil }
+
+var validTrafficProcesses = map[string]bool{
+	TrafficConstant: true, TrafficDiurnal: true, TrafficStep: true,
+	TrafficRamp: true, TrafficNoise: true,
+}
+
+var validPolicyKinds = map[string]bool{
+	PolicyFixed: true, PolicyBestResponse: true, PolicyGradient: true, PolicySticky: true,
+}
+
+var validObjectives = map[string]bool{
+	"": true, ObjectiveRevenue: true, ObjectiveShare: true,
+}
+
+// validateDynamics vets the Dynamics block against the rest of the
+// scenario. It runs after validateProviders, so provider shapes are sound.
+func (s *Scenario) validateDynamics() error {
+	d := s.Dynamics
+	if d.Ticks < 1 || d.Ticks > maxDynamicsTicks {
+		return fmt.Errorf("scenario %q: dynamics ticks %d outside [1, %d]", s.Name, d.Ticks, maxDynamicsTicks)
+	}
+	if d.Inertia < 0 || d.Inertia >= 1 || math.IsNaN(d.Inertia) {
+		return fmt.Errorf("scenario %q: dynamics inertia %g outside [0, 1)", s.Name, d.Inertia)
+	}
+	if s.Population.Batch > 0 {
+		return fmt.Errorf("scenario %q: dynamics simulations do not support batched populations (each tick re-evaluates the full market)", s.Name)
+	}
+	for _, p := range s.Providers {
+		if p.BestResponse {
+			return fmt.Errorf("scenario %q: dynamics scenarios re-price through policies; drop best_response on %q", s.Name, p.Name)
+		}
+		if p.Sigma > 0 {
+			return fmt.Errorf("scenario %q: dynamics simulations do not support revenue rebates (%q has sigma=%g)", s.Name, p.Name, p.Sigma)
+		}
+	}
+	if err := d.validateTraffic(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := s.validatePolicies(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if d.Autoscale != nil {
+		po := -1
+		for i, p := range s.Providers {
+			if p.PublicOption {
+				po = i
+			}
+		}
+		if po < 0 {
+			return fmt.Errorf("scenario %q: dynamics autoscale needs a Public Option provider", s.Name)
+		}
+		a := d.Autoscale
+		if !(a.DelayTarget > 0) || math.IsInf(a.DelayTarget, 0) {
+			return fmt.Errorf("scenario %q: autoscale delay_target %g must be positive and finite", s.Name, a.DelayTarget)
+		}
+		if a.Gain < 0 || a.Gain > 1 || math.IsNaN(a.Gain) {
+			return fmt.Errorf("scenario %q: autoscale gain %g outside [0, 1]", s.Name, a.Gain)
+		}
+		if a.Min < 0 || a.Min > 1 || math.IsNaN(a.Min) {
+			return fmt.Errorf("scenario %q: autoscale min %g outside (0, 1] (0 means the 0.25 default)", s.Name, a.Min)
+		}
+		if a.Max < 0 || math.IsInf(a.Max, 0) || math.IsNaN(a.Max) || (a.Max > 0 && a.Max < 1) {
+			return fmt.Errorf("scenario %q: autoscale max %g must be ≥ 1 (0 means the 4 default)", s.Name, a.Max)
+		}
+	}
+	return nil
+}
+
+func (d *DynamicsSpec) validateTraffic() error {
+	tr := d.Traffic
+	if tr == nil {
+		return nil
+	}
+	if !validTrafficProcesses[tr.Process] {
+		return fmt.Errorf("unknown traffic process %q", tr.Process)
+	}
+	switch tr.Process {
+	case TrafficDiurnal:
+		if tr.Amplitude < 0 || tr.Amplitude >= 1 || math.IsNaN(tr.Amplitude) {
+			return fmt.Errorf("diurnal traffic amplitude %g outside [0, 1)", tr.Amplitude)
+		}
+		if tr.Period < 2 {
+			return fmt.Errorf("diurnal traffic period %d must be at least 2 ticks", tr.Period)
+		}
+	case TrafficStep:
+		if tr.At < 0 || tr.At >= d.Ticks {
+			return fmt.Errorf("step traffic switches at tick %d, outside [0, %d)", tr.At, d.Ticks)
+		}
+		if !(tr.To > 0) || math.IsInf(tr.To, 0) {
+			return fmt.Errorf("step traffic multiplier to=%g must be positive and finite", tr.To)
+		}
+	case TrafficRamp:
+		if !(tr.To > 0) || math.IsInf(tr.To, 0) {
+			return fmt.Errorf("ramp traffic multiplier to=%g must be positive and finite", tr.To)
+		}
+	case TrafficNoise:
+		if tr.Amplitude < 0 || tr.Amplitude >= 1 || math.IsNaN(tr.Amplitude) {
+			return fmt.Errorf("noise traffic amplitude %g outside [0, 1)", tr.Amplitude)
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) validatePolicies() error {
+	d := s.Dynamics
+	if len(d.Policies) == 0 {
+		return nil
+	}
+	if len(d.Policies) != len(s.Providers) {
+		return fmt.Errorf("dynamics policies list %d entries for %d providers (one per provider, in order)", len(d.Policies), len(s.Providers))
+	}
+	for i, p := range d.Policies {
+		prov := s.Providers[i]
+		if !validPolicyKinds[p.kind()] {
+			return fmt.Errorf("provider %q: unknown policy kind %q", prov.Name, p.Kind)
+		}
+		if !validObjectives[p.Objective] {
+			return fmt.Errorf("provider %q: unknown policy objective %q", prov.Name, p.Objective)
+		}
+		if prov.PublicOption && p.kind() != PolicyFixed {
+			return fmt.Errorf("provider %q: the Public Option is neutral by definition and cannot re-price (policy %q)", prov.Name, p.kind())
+		}
+		for _, knob := range []struct {
+			name  string
+			value float64
+		}{{"step", p.Step}, {"gain", p.Gain}, {"threshold", p.Threshold}} {
+			if knob.value < 0 || math.IsNaN(knob.value) || math.IsInf(knob.value, 0) {
+				return fmt.Errorf("provider %q: policy %s %g must be non-negative and finite", prov.Name, knob.name, knob.value)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDynamicsSpec drives the loader specifically at the dynamics schema
+// extension. Same contract as FuzzScenarioValidate — garbage is rejected
+// with an error, never a panic; an accepted scenario revalidates cleanly;
+// its canonical JSON round-trips — plus one dynamics-specific invariant:
+// anything accepted with a dynamics block must look dynamic from every
+// dispatch predicate (IsDynamic true, IsGrid false), so the static runners
+// and the streaming endpoints can never both claim it.
+//
+// The seed corpus is the dynamic half of the registry plus
+// deliberately-broken dynamics shapes along each validation edge.
+func FuzzDynamicsSpec(f *testing.F) {
+	for _, name := range DynamicsNames() {
+		s, ok := Get(name)
+		if !ok {
+			f.Fatalf("dynamic builtin %q missing", name)
+		}
+		js, err := s.JSON()
+		if err != nil {
+			f.Fatalf("%s: marshal: %v", name, err)
+		}
+		f.Add(string(js))
+	}
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":0}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":100001}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"inertia":1}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"traffic":{"process":"tidal"}}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"traffic":{"process":"step","at":9,"to":2}}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"traffic":{"process":"diurnal","amplitude":1.5,"period":1}}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"policies":[{"kind":"greedy"}]}}`)
+	f.Add(`{"name":"x","title":"x","dynamics":{"ticks":5,"autoscale":{"delay_target":-1}}}`)
+	f.Add(`{"name":"x","title":"x","sweep":{"axis":"time","points":10},"dynamics":{"ticks":5}}`)
+	f.Add(`{"name":"x","title":"x","sweep":{"axis":"time"}}`)
+	f.Fuzz(func(t *testing.T, js string) {
+		s, err := LoadString(js)
+		if err != nil {
+			return // rejected: the only requirement is no panic
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails revalidation: %v\ninput: %s", err, js)
+		}
+		if s.IsDynamic() {
+			if s.IsGrid() {
+				t.Fatalf("scenario is both dynamic and grid\ninput: %s", js)
+			}
+			// Multiplier must stay total over the whole configured run:
+			// pure, finite, positive for every valid tick.
+			for _, tick := range []int{0, s.Dynamics.Ticks / 2, s.Dynamics.Ticks - 1} {
+				if m := s.Dynamics.Multiplier(tick); !(m > 0) || math.IsInf(m, 0) {
+					t.Fatalf("tick %d multiplier %g not positive-finite\ninput: %s", tick, m, js)
+				}
+			}
+		}
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v\ninput: %s", err, js)
+		}
+		if _, err := LoadString(string(out)); err != nil {
+			t.Fatalf("canonical form rejected on reload: %v\ncanonical: %s", err, out)
+		}
+	})
+}

@@ -279,6 +279,99 @@ var builtins = []*Scenario{
 			Metrics: []string{MetricPhi, MetricPsi},
 		},
 	},
+	{
+		Name:  "dyn-convergence",
+		Title: "Dynamics: inert consumers converge to the Theorem-1 duopoly equilibrium",
+		Description: "The public-option-duopoly market run through the reconcile loop with " +
+			"fixed strategies, constant traffic, and migration inertia 0.5: shares start at " +
+			"capacity shares and contract geometrically onto the static Assumption-5 " +
+			"equilibrium. The trajectory limit is pinned to the one-shot solve within 1e-6 " +
+			"by the fixed-point test battery.",
+		Reference:  "Ma & Misra §IV-A, Theorem 5; docs/DYNAMICS.md",
+		Population: PopulationSpec{Kind: "ensemble", N: 160, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.5},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Dynamics: &DynamicsSpec{Ticks: 48, Inertia: 0.5},
+		Sweep: SweepSpec{
+			Axis: AxisTime, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
+	{
+		Name:  "dyn-oscillation",
+		Title: "Dynamics: an overshooting gradient re-pricer limit-cycles around the optimum",
+		Description: "A monopolist (κ=1) re-prices by finite-difference gradient ascent on " +
+			"premium revenue with a deliberately overshooting gain. Each tick the price " +
+			"leaps past the revenue peak and back — a bounded limit cycle, not convergence: " +
+			"the canonical failure mode of aggressive reconcile loops.",
+		Reference:  "Ma & Misra §III, Figure 4; docs/DYNAMICS.md",
+		Population: PopulationSpec{Kind: "ensemble", N: 160, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "monopolist", Gamma: 1, Kappa: 1, C: 0.1},
+		},
+		Dynamics: &DynamicsSpec{
+			Ticks:    40,
+			Policies: []PolicySpec{{Kind: PolicyGradient, Step: 0.02, Gain: 0.01}},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisTime, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricPsi},
+		},
+	},
+	{
+		Name:  "dyn-demand-shock",
+		Title: "Dynamics: a 50% demand surge against a sticky incumbent and an autoscaled Public Option",
+		Description: "Traffic steps up 1.5× at tick 15. The incumbent re-prices only when a " +
+			"local search finds a revenue gain past its stickiness threshold; the Public " +
+			"Option's actuator grows capacity toward an M/M/1 delay target as its " +
+			"subscribers' load rises. Watch capacity, shares, and surplus re-equilibrate " +
+			"after the shock.",
+		Reference:  "ROADMAP adjustment-dynamics question; docs/DYNAMICS.md",
+		Population: PopulationSpec{Kind: "ensemble", N: 160, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.5, Kappa: 1, C: 0.5},
+			{Name: "public-option", Gamma: 0.5, PublicOption: true},
+		},
+		Dynamics: &DynamicsSpec{
+			Ticks:   40,
+			Inertia: 0.6,
+			Traffic: &TrafficSpec{Process: TrafficStep, At: 15, To: 1.5},
+			Policies: []PolicySpec{
+				{Kind: PolicySticky, Step: 0.05, Threshold: 0.002},
+				{Kind: PolicyFixed},
+			},
+			Autoscale: &AutoscaleSpec{DelayTarget: 0.25},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisTime, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
+	{
+		Name:  "dyn-po-entry",
+		Title: "Dynamics: a small Public Option entrant autoscales into a disciplining force",
+		Description: "The Public Option enters with 5% of capacity against a (κ=1, c=0.6) " +
+			"incumbent. Every tick its delay-target actuator adds capacity as subscribers " +
+			"arrive (up to 10× its entry size) while consumers migrate with inertia 0.5 — " +
+			"the §VI sizing question asked as a trajectory instead of a sweep.",
+		Reference:  "Ma & Misra §VI; extends public-option-sizing; docs/DYNAMICS.md",
+		Population: PopulationSpec{Kind: "ensemble", N: 160, Seed: 7},
+		Providers: []ProviderSpec{
+			{Name: "incumbent", Gamma: 0.95, Kappa: 1, C: 0.6},
+			{Name: "public-option", Gamma: 0.05, PublicOption: true},
+		},
+		Dynamics: &DynamicsSpec{
+			Ticks:     40,
+			Inertia:   0.5,
+			Autoscale: &AutoscaleSpec{DelayTarget: 0.2, Max: 10},
+		},
+		Sweep: SweepSpec{
+			Axis: AxisTime, Nu: 0.4, OfSaturation: true,
+			Metrics: []string{MetricPhi, MetricShare},
+		},
+	},
 }
 
 func init() {
@@ -309,6 +402,18 @@ func GridNames() []string {
 	var out []string
 	for _, s := range builtins {
 		if s.IsGrid() {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DynamicsNames returns the names of the built-in dynamic scenarios, sorted.
+func DynamicsNames() []string {
+	var out []string
+	for _, s := range builtins {
+		if s.IsDynamic() {
 			out = append(out, s.Name)
 		}
 	}

@@ -53,6 +53,9 @@ func (s *Scenario) Run(opt RunOptions) ([]*sweep.Table, error) {
 	if s.IsGrid() {
 		return nil, fmt.Errorf("scenario %q: declares a 2-D grid sweep (%s); solve it with RunGrid", s.Name, s.axisList())
 	}
+	if s.IsDynamic() {
+		return nil, fmt.Errorf("scenario %q: declares a dynamics simulation; solve it with dynamics.Run", s.Name)
+	}
 	if s.Regulation != nil {
 		return s.runRegimes(opt)
 	}

@@ -67,6 +67,9 @@ func (s *Scenario) SampleEquilibria(opt SampleOptions) ([]LinkEquilibrium, error
 	if s.Population.Batch > 0 {
 		return nil, fmt.Errorf("scenario %q: batched populations stream their water-fill and keep no per-CP equilibrium to sample", s.Name)
 	}
+	if s.IsDynamic() {
+		return nil, fmt.Errorf("scenario %q: dynamics simulations have per-tick equilibria, not sweep cells; there is nothing static to sample", s.Name)
+	}
 	maxCells := opt.MaxCells
 	if maxCells <= 0 {
 		maxCells = 3

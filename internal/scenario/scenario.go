@@ -51,6 +51,10 @@ type Scenario struct {
 	// instead of solving the declared providers, each listed regulatory
 	// regime is solved per sweep point (the sweep axis must be "nu").
 	Regulation *RegulationSpec `json:"regulation,omitempty"`
+	// Dynamics, when set, switches the scenario to a discrete-time market
+	// simulation (internal/dynamics): the sweep axis must be "time" and the
+	// scenario is solved tick-by-tick rather than point-by-point.
+	Dynamics *DynamicsSpec `json:"dynamics,omitempty"`
 	// Sweep declares the x-axis and the metrics to record.
 	Sweep SweepSpec `json:"sweep"`
 }
@@ -305,6 +309,15 @@ func (s *Scenario) Validate() error {
 	if err := s.validateSweep(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if s.Dynamics != nil {
+		if s.Regulation != nil {
+			return fmt.Errorf("scenario %q: dynamics simulations declare explicit providers; drop the regulation block", s.Name)
+		}
+		if err := s.validateProviders(); err != nil {
+			return err
+		}
+		return s.validateDynamics()
+	}
 	if s.Regulation != nil {
 		if len(s.Providers) > 0 {
 			return fmt.Errorf("scenario %q: regulation comparisons imply their own market structure; drop the providers list", s.Name)
@@ -425,11 +438,27 @@ func (s *Scenario) IsGrid() bool { return s.Sweep.Grid != nil }
 
 func (s *Scenario) validateSweep() error {
 	sw := s.Sweep
-	if !validAxes[sw.Axis] {
+	// The time axis exists only for dynamics scenarios, whose tick count —
+	// not Lo/Hi/Points — defines the value grid.
+	if s.Dynamics != nil {
+		if sw.Axis != AxisTime {
+			return fmt.Errorf("dynamics scenarios sweep simulation time; axis must be %q, got %q", AxisTime, sw.Axis)
+		}
+		if sw.Points != 0 || len(sw.Values) != 0 {
+			return fmt.Errorf("the %q axis takes its grid from dynamics.ticks; drop points/values", AxisTime)
+		}
+		if sw.Grid != nil {
+			return fmt.Errorf("dynamics scenarios do not support grid sweeps (time is the only axis)")
+		}
+	} else if sw.Axis == AxisTime {
+		return fmt.Errorf("the %q axis needs a dynamics block", AxisTime)
+	} else if !validAxes[sw.Axis] {
 		return fmt.Errorf("unknown sweep axis %q", sw.Axis)
 	}
-	if err := validateAxisGrid(sw.Axis, sw.Lo, sw.Hi, sw.Points, sw.Values); err != nil {
-		return err
+	if s.Dynamics == nil {
+		if err := validateAxisGrid(sw.Axis, sw.Lo, sw.Hi, sw.Points, sw.Values); err != nil {
+			return err
+		}
 	}
 	if sw.Grid != nil {
 		if !validAxes[sw.Grid.Axis] {

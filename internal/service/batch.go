@@ -270,6 +270,9 @@ func (s *Server) solveBatchEntry(r *http.Request, index int, raw json.RawMessage
 		if sc.IsGrid() {
 			return nil, fmt.Errorf("scenario %q is a 2-D grid; submit it via the \"grid\" field", sc.Name)
 		}
+		if sc.IsDynamic() {
+			return nil, fmt.Errorf("scenario %q is a dynamics simulation; stream it via POST /v1/simulate", sc.Name)
+		}
 		tables, err := s.runScenario(sc, workers, &sink)
 		delta = sink.Snapshot()
 		s.counters.Add(delta)
@@ -545,6 +548,9 @@ func (s *Server) resolveGridScenario(req *batchRequest) (*scenario.Scenario, int
 			return nil, http.StatusBadRequest, err
 		}
 		sc = got
+	}
+	if sc.IsDynamic() {
+		return nil, http.StatusBadRequest, fmt.Errorf("scenario %q is a dynamics simulation; stream it via POST /v1/simulate", sc.Name)
 	}
 	if !sc.IsGrid() {
 		return nil, http.StatusBadRequest, fmt.Errorf("scenario %q declares a 1-D sweep; use \"scenarios\" for it or add a sweep.grid axis", sc.Name)

@@ -86,6 +86,7 @@ type metrics struct {
 	solve    map[string]*histogram     // cache outcome -> request latency
 	frames   *histogram                // batch NDJSON frame write+flush latency
 	inFlight int64                     // solves currently executing
+	simTicks uint64                    // dynamics ticks solved by /v1/simulate
 }
 
 func newMetrics() *metrics {
@@ -124,6 +125,14 @@ func (m *metrics) observeSolve(outcome string, seconds float64) {
 	h.observe(seconds)
 }
 
+// observeSimTicks counts dynamics ticks actually solved (cache misses) by
+// /v1/simulate; a fully warm replay adds zero.
+func (m *metrics) observeSimTicks(n int) {
+	m.mu.Lock()
+	m.simTicks += uint64(n)
+	m.mu.Unlock()
+}
+
 // observeFrame records one batch frame's write+flush latency.
 func (m *metrics) observeFrame(seconds float64) {
 	m.mu.Lock()
@@ -151,6 +160,7 @@ type renderSnapshot struct {
 	solve    map[string]*histogram
 	frames   *histogram
 	inFlight int64
+	simTicks uint64
 }
 
 func (m *metrics) snapshot() renderSnapshot {
@@ -161,6 +171,7 @@ func (m *metrics) snapshot() renderSnapshot {
 		solve:    make(map[string]*histogram, len(m.solve)),
 		frames:   m.frames.clone(),
 		inFlight: m.inFlight,
+		simTicks: m.simTicks,
 	}
 	for r, byCode := range m.requests {
 		cp := make(map[int]uint64, len(byCode))
@@ -224,6 +235,8 @@ func (m *metrics) render(w *strings.Builder, st cache.Stats, solver obs.SolveSta
 	counter("pubopt_solver_cycle_restarts_total", "Class-dynamics partition-cycle restarts (mover-cap halvings and indifference-band widenings).", solver.CycleRestarts)
 
 	counter("pubopt_events_recorded_total", "Flight-recorder events ever recorded (including overwritten ones).", recorded)
+
+	counter("pubopt_sim_ticks_total", "Dynamics ticks solved by /v1/simulate (cache hits excluded).", snap.simTicks)
 
 	fmt.Fprintf(w, "# HELP pubopt_solve_duration_seconds Run request latency by cache outcome (hit, miss, coalesced, error).\n")
 	fmt.Fprintf(w, "# TYPE pubopt_solve_duration_seconds histogram\n")

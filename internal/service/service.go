@@ -17,6 +17,8 @@
 //	POST /v1/runs                   solve a named or inline 1-D scenario
 //	POST /v1/batch                  stream a scenario list or a 2-D grid
 //	                                as NDJSON, grid cells cached per cell
+//	POST /v1/simulate               stream a dynamics scenario tick by tick
+//	                                as NDJSON, ticks cached per tick
 //	GET  /v1/experiments            list the registered figure experiments
 //	POST /v1/experiments/{id}/run   run a figure experiment
 //	GET  /healthz                   liveness probe
@@ -163,7 +165,7 @@ func New(opts Options) *Server {
 		scenarioKeys: make(map[string]string),
 	}
 	for _, sc := range scenario.All() {
-		s.scenarioInfos = append(s.scenarioInfos, ScenarioInfo{Name: sc.Name, Title: sc.Title, Reference: sc.Reference, Grid: sc.IsGrid()})
+		s.scenarioInfos = append(s.scenarioInfos, ScenarioInfo{Name: sc.Name, Title: sc.Title, Reference: sc.Reference, Grid: sc.IsGrid(), Dynamic: sc.IsDynamic()})
 		s.scenarios[sc.Name] = sc
 		canon, err := sc.CanonicalJSON()
 		if err != nil {
@@ -182,6 +184,7 @@ func New(opts Options) *Server {
 	s.handle("GET /v1/scenarios/{name}", s.handleGetScenario)
 	s.handle("POST /v1/runs", s.handleRun)
 	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("POST /v1/simulate", s.handleSimulate)
 	s.handle("GET /v1/experiments", s.handleListExperiments)
 	s.handle("POST /v1/experiments/{id}/run", s.handleExperimentRun)
 	s.handle("GET /healthz", s.handleHealthz)
@@ -268,6 +271,9 @@ type ScenarioInfo struct {
 	// Grid marks 2-D grid scenarios: they are solved via POST /v1/batch
 	// ({"grid": name}), and POST /v1/runs rejects them.
 	Grid bool `json:"grid,omitempty"`
+	// Dynamic marks dynamics scenarios: they are simulated via
+	// POST /v1/simulate, and POST /v1/runs and /v1/batch reject them.
+	Dynamic bool `json:"dynamic,omitempty"`
 }
 
 // ExperimentInfo is one row of GET /v1/experiments.
@@ -389,6 +395,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "scenario %q is a 2-D grid; run it via POST /v1/batch with the \"grid\" field", req.Scenario)
 			return
 		}
+		if s.scenarios[req.Scenario].IsDynamic() {
+			writeError(w, http.StatusBadRequest, "scenario %q is a dynamics simulation; run it via POST /v1/simulate with the \"scenario\" field", req.Scenario)
+			return
+		}
 		getScenario = func() (*scenario.Scenario, error) {
 			sc, ok := scenario.Get(req.Scenario)
 			if !ok {
@@ -404,6 +414,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		if sc.IsGrid() {
 			writeError(w, http.StatusBadRequest, "scenario %q is a 2-D grid; run it via POST /v1/batch with the \"grid_json\" field", sc.Name)
+			return
+		}
+		if sc.IsDynamic() {
+			writeError(w, http.StatusBadRequest, "scenario %q is a dynamics simulation; run it via POST /v1/simulate with the \"scenario_json\" field", sc.Name)
 			return
 		}
 		canon, err := sc.CanonicalJSON()
