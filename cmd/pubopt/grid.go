@@ -57,6 +57,14 @@ flags for run:
   -seed N                   override the population's ensemble seed
   -cps N                    override the population's ensemble size
   -workers N                parallel rows, work-stealing (0 = GOMAXPROCS)
+  -refine                   adaptive refinement: treat the declared grid as
+                            a seed, split only cells where the surface
+                            bends, and interpolate the rest (sub-linear in
+                            output resolution; see docs/REFINEMENT.md)
+  -tol F, -depth N,         refinement overrides (0 = the scenario's
+  -probes N                 sweep.grid.refine block, or package defaults)
+  -res CxR                  flatten the refined surface at C×R instead of
+                            the full fine-lattice resolution
 `)
 }
 
@@ -70,8 +78,17 @@ func gridRunCmd(args []string) error {
 	seed := fs.Uint64("seed", 0, "ensemble seed override (0 = scenario value)")
 	cps := fs.Int("cps", 0, "ensemble size override (0 = scenario value)")
 	workers := fs.Int("workers", 0, "parallel rows (0 = GOMAXPROCS)")
+	refineFlag := fs.Bool("refine", false, "adaptive refinement instead of dense solving")
+	tol := fs.Float64("tol", 0, "refinement tolerance override (0 = scenario value or default)")
+	depth := fs.Int("depth", 0, "refinement depth cap override (0 = scenario value or default)")
+	probes := fs.Int("probes", 0, "verification probe budget override (0 = scenario value or default, -1 disables)")
+	res := fs.String("res", "", "flatten resolution COLSxROWS for refined output (default: the fine lattice)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	//pubopt:allow(floatcmp): 0 is the exact "flag not set" sentinel (flag default)
+	if !*refineFlag && (*tol != 0 || *depth != 0 || *probes != 0 || *res != "") {
+		return fmt.Errorf("grid run: -tol, -depth, -probes and -res require -refine")
 	}
 	if (*name == "") == (*jsonPath == "") {
 		return fmt.Errorf("grid run: give exactly one of --name or --json")
@@ -113,12 +130,19 @@ func gridRunCmd(args []string) error {
 	}
 
 	start := time.Now()
-	grid, err := s.RunGrid(publicoption.ScenarioRunOptions{Workers: *workers})
+	var grid *publicoption.ResultGrid
+	if *refineFlag {
+		grid, err = runRefinedGrid(s, *workers, *tol, *depth, *probes, *res, start)
+	} else {
+		grid, err = s.RunGrid(publicoption.ScenarioRunOptions{Workers: *workers})
+		if err == nil {
+			fmt.Printf("== %s: %s (%d cells = %d×%d, %.1fs)\n",
+				s.Name, s.Title, grid.Cells(), len(grid.Xs), len(grid.Ys), time.Since(start).Seconds())
+		}
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== %s: %s (%d cells = %d×%d, %.1fs)\n",
-		s.Name, s.Title, grid.Cells(), len(grid.Xs), len(grid.Ys), time.Since(start).Seconds())
 	if s.Reference != "" {
 		fmt.Printf("   reference: %s\n", s.Reference)
 	}
@@ -157,4 +181,54 @@ func gridRunCmd(args []string) error {
 		fmt.Printf("   wrote %s\n", path)
 	}
 	return nil
+}
+
+// runRefinedGrid runs the scenario through the adaptive-refinement engine
+// and flattens the surrogate back to a dense grid for the normal renderers.
+// CLI flags override the scenario's own refine block field-by-field.
+func runRefinedGrid(s *publicoption.Scenario, workers int, tol float64, depth, probes int, res string, start time.Time) (*publicoption.ResultGrid, error) {
+	if s.Sweep.Grid.Refine == nil {
+		s.Sweep.Grid.Refine = &publicoption.ScenarioRefine{}
+	}
+	r := s.Sweep.Grid.Refine
+	if tol != 0 { //pubopt:allow(floatcmp): 0 is the exact "flag not set" sentinel (flag default)
+		r.Tolerance = tol
+	}
+	if depth != 0 {
+		r.MaxDepth = depth
+	}
+	if probes != 0 {
+		r.Probes = probes
+	}
+	result, err := s.RunGridRefined(publicoption.ScenarioRunOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	nx, ny := result.FineDims()
+	if res != "" {
+		if nx, ny, err = parseResolution(res); err != nil {
+			return nil, err
+		}
+	}
+	st := result.Stats()
+	fineXs, fineYs := result.FineDims()
+	fmt.Printf("== %s: %s (refined %d×%d seed to %d×%d, %.1fs)\n",
+		s.Name, s.Title, len(s.Sweep.XValues()), len(s.Sweep.Grid.RowValues()),
+		fineXs, fineYs, time.Since(start).Seconds())
+	verdict := "unverified"
+	if result.Verified() {
+		verdict = "verified"
+	}
+	fmt.Printf("   solved %d points (+%d probes), reused %d, %d leaves; max error %.3g of tol %g (%s)\n",
+		st.PointsSolved, st.ProbeSolves, st.PointsReused, st.Leaves(),
+		result.MaxError(), result.Tolerance(), verdict)
+	return result.Flatten(nx, ny), nil
+}
+
+// parseResolution parses a COLSxROWS flattening resolution like "80x40".
+func parseResolution(res string) (nx, ny int, err error) {
+	if _, err := fmt.Sscanf(res, "%dx%d", &nx, &ny); err != nil || nx < 2 || ny < 2 {
+		return 0, 0, fmt.Errorf("bad -res %q: want COLSxROWS with both at least 2 (e.g. 80x40)", res)
+	}
+	return nx, ny, nil
 }

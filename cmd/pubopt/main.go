@@ -15,6 +15,10 @@
 //	pubopt grid run --name <name> | --json <file>  [-format heatmap|csv]
 //	                                   [-layer NAME] [-out DIR]
 //	                                   [-seed N] [-cps N] [-workers N]
+//	                                   [-refine [-tol F] [-depth N]
+//	                                   [-probes N] [-res CxR]]
+//	pubopt query --name <name> | --json <file>  -x X -y Y
+//	                                   [-seed N] [-cps N] [-workers N]
 //	pubopt simulate list
 //	pubopt simulate run --name <name> | --json <file>  [-format chart|csv|heatmap]
 //	                                   [-layer NAME] [-out DIR]
@@ -97,6 +101,8 @@ func run(args []string) error {
 		return scenarioCmd(args[1:])
 	case "grid":
 		return gridCmd(args[1:])
+	case "query":
+		return queryCmd(args[1:])
 	case "simulate":
 		return simulateCmd(args[1:])
 	case "verify":
@@ -124,7 +130,11 @@ commands:
   scenario <subcmd>         declarative market scenarios: list, show,
                             run --name <name> | --json <file>
   grid <subcmd>             2-D grid sweeps (γ×ν, σ×ν, c×κ, ...): list,
-                            run --name <name> | --json <file>
+                            run --name <name> | --json <file>; -refine
+                            switches to adaptive refinement
+  query --name <name> -x X -y Y
+                            evaluate one grid point via the refinement
+                            surrogate (see docs/REFINEMENT.md)
   simulate <subcmd>         discrete-time market dynamics (policies,
                             traffic, autoscaling; see docs/DYNAMICS.md):
                             list, run --name <name> | --json <file>

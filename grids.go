@@ -1,7 +1,9 @@
 package publicoption
 
 import (
+	"github.com/netecon-sim/publicoption/internal/obs"
 	"github.com/netecon-sim/publicoption/internal/plot"
+	"github.com/netecon-sim/publicoption/internal/refine"
 	"github.com/netecon-sim/publicoption/internal/scenario"
 	"github.com/netecon-sim/publicoption/internal/sweep"
 )
@@ -33,6 +35,19 @@ type (
 	// GridCellSpec is the content-addressable specification of one cell,
 	// hashed into per-cell equilibrium cache keys.
 	GridCellSpec = scenario.CellSpec
+	// ScenarioRefine is the optional sweep.grid.refine block: it switches
+	// Scenario.RunGridRefined from dense solving to adaptive refinement
+	// (split only where the surface bends, down to max_depth, with a
+	// solver-verified error bound). See docs/REFINEMENT.md.
+	ScenarioRefine = scenario.RefineSpec
+	// RefinedGrid is the outcome of an adaptive refinement run: a queryable
+	// interpolating surrogate (At/Values), flattenable to any resolution
+	// (Flatten), carrying its refinement telemetry (Stats) and verified
+	// error bound (Verified/MaxError).
+	RefinedGrid = refine.Result
+	// GridRefineStats is the refinement telemetry block: points solved vs
+	// reused, cells split vs interpolated, and the leaf-depth histogram.
+	GridRefineStats = obs.RefineStats
 )
 
 // GridScenarioNames lists the built-in 2-D grid scenarios, sorted.

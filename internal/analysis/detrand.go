@@ -21,6 +21,7 @@ var detRandPackages = []string{
 	"internal/traffic",
 	"internal/netsim",
 	"internal/numeric",
+	"internal/refine",
 }
 
 // detRandSeededConstructors are the math/rand functions that are allowed:

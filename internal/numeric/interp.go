@@ -1,12 +1,37 @@
 package numeric
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfRange reports an interpolation query outside the knot range in
+// checked (error) mode. Callers that need a hard domain boundary — e.g. the
+// refinement surrogate rejecting off-grid queries instead of silently
+// clamping them to the edge — test with errors.Is.
+var ErrOutOfRange = errors.New("numeric: interpolation query outside the knot range")
 
 // Interpolator evaluates a function fitted through sample points.
+//
+// Out-of-range queries come in two documented modes:
+//
+//   - clamp mode (At): the boundary value is extended (constant
+//     extrapolation). This is the right default for plotting and for warm
+//     sweeps that overshoot an axis edge by floating-point dust.
+//   - checked mode (AtChecked): the query errors with ErrOutOfRange, so a
+//     caller promising solver-verified accuracy inside the knot range never
+//     silently reports an edge value for a point it knows nothing about.
 type Interpolator interface {
 	// At returns the interpolated value at x. Outside the sample range the
-	// boundary value is extended (constant extrapolation).
+	// boundary value is extended (constant extrapolation) — clamp mode.
 	At(x float64) float64
+	// AtChecked is checked mode: inside the knot range it equals At; outside
+	// it returns ErrOutOfRange (wrapped with the offending x and the range).
+	AtChecked(x float64) (float64, error)
+	// Bounds returns the knot range [lo, hi] within which At interpolates
+	// (and outside of which it clamps). lo == hi for a single knot.
+	Bounds() (lo, hi float64)
 }
 
 // LinearInterp is a piecewise-linear interpolator over strictly increasing
@@ -36,6 +61,20 @@ func (l *LinearInterp) At(x float64) float64 {
 		return l.ys[len(l.ys)-1]
 	}
 	return l.ys[i]*(1-t) + l.ys[i+1]*t
+}
+
+// Bounds returns the knot range of the interpolator.
+func (l *LinearInterp) Bounds() (lo, hi float64) {
+	return l.xs[0], l.xs[len(l.xs)-1]
+}
+
+// AtChecked is checked mode: it equals At inside the knot range and returns
+// an error wrapping ErrOutOfRange outside it.
+func (l *LinearInterp) AtChecked(x float64) (float64, error) {
+	if err := checkRange(l.xs, x); err != nil {
+		return 0, err
+	}
+	return l.At(x), nil
 }
 
 // PCHIP is a monotone piecewise-cubic Hermite interpolator (Fritsch–Carlson).
@@ -143,6 +182,30 @@ func (p *PCHIP) At(x float64) float64 {
 	h01 := -2*t3 + 3*t2
 	h11 := t3 - t2
 	return h00*p.ys[i] + h10*h*p.ds[i] + h01*p.ys[i+1] + h11*h*p.ds[i+1]
+}
+
+// Bounds returns the knot range of the interpolator.
+func (p *PCHIP) Bounds() (lo, hi float64) {
+	return p.xs[0], p.xs[len(p.xs)-1]
+}
+
+// AtChecked is checked mode: it equals At inside the knot range and returns
+// an error wrapping ErrOutOfRange outside it.
+func (p *PCHIP) AtChecked(x float64) (float64, error) {
+	if err := checkRange(p.xs, x); err != nil {
+		return 0, err
+	}
+	return p.At(x), nil
+}
+
+// checkRange reports ErrOutOfRange (wrapped with the query and the knot
+// range) when x falls outside [xs[0], xs[len-1]].
+func checkRange(xs []float64, x float64) error {
+	lo, hi := xs[0], xs[len(xs)-1]
+	if x < lo || x > hi || x != x { //pubopt:allow(floatcmp): x != x is the NaN test; NaN must be rejected, not clamped
+		return fmt.Errorf("%w: x=%g outside [%g, %g]", ErrOutOfRange, x, lo, hi)
+	}
+	return nil
 }
 
 // locate returns the index i of the interval [xs[i], xs[i+1]] containing x

@@ -1,6 +1,7 @@
 package numeric
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -144,6 +145,61 @@ func TestPCHIPApproximatesSmoothFunction(t *testing.T) {
 	for _, x := range Linspace(0, math.Pi, 200) {
 		if err := math.Abs(p.At(x) - math.Sin(x)); err > 5e-3 {
 			t.Fatalf("PCHIP error %v at x=%v too large", err, x)
+		}
+	}
+}
+
+func TestInterpolatorClampVsCheckedModes(t *testing.T) {
+	xs := []float64{0, 1, 3}
+	ys := []float64{1, 2, 0}
+	for _, tc := range []struct {
+		name string
+		itp  Interpolator
+	}{
+		{"linear", NewLinearInterp(xs, ys)},
+		{"pchip", NewPCHIP(xs, ys)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if lo, hi := tc.itp.Bounds(); lo != 0 || hi != 3 {
+				t.Fatalf("Bounds() = (%v, %v), want (0, 3)", lo, hi)
+			}
+			// Clamp mode: out-of-range queries extend the boundary value.
+			if got := tc.itp.At(-2); got != ys[0] {
+				t.Fatalf("At(-2) = %v, want clamped %v", got, ys[0])
+			}
+			if got := tc.itp.At(9); got != ys[len(ys)-1] {
+				t.Fatalf("At(9) = %v, want clamped %v", got, ys[len(ys)-1])
+			}
+			// Checked mode: in range it agrees with At exactly...
+			for _, x := range Linspace(0, 3, 17) {
+				got, err := tc.itp.AtChecked(x)
+				if err != nil {
+					t.Fatalf("AtChecked(%v) unexpected error: %v", x, err)
+				}
+				if got != tc.itp.At(x) {
+					t.Fatalf("AtChecked(%v) = %v disagrees with At = %v", x, got, tc.itp.At(x))
+				}
+			}
+			// ...and out of range (or NaN) it reports ErrOutOfRange.
+			for _, x := range []float64{-2, -1e-9, 3 + 1e-9, 9, math.NaN()} {
+				if _, err := tc.itp.AtChecked(x); !errors.Is(err, ErrOutOfRange) {
+					t.Fatalf("AtChecked(%v) error = %v, want ErrOutOfRange", x, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAtCheckedSingleKnot(t *testing.T) {
+	for _, itp := range []Interpolator{
+		NewLinearInterp([]float64{2}, []float64{7}),
+		NewPCHIP([]float64{2}, []float64{7}),
+	} {
+		if got, err := itp.AtChecked(2); err != nil || got != 7 {
+			t.Fatalf("AtChecked(2) = (%v, %v), want (7, nil)", got, err)
+		}
+		if _, err := itp.AtChecked(2.5); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("AtChecked(2.5) error = %v, want ErrOutOfRange", err)
 		}
 	}
 }

@@ -124,13 +124,21 @@ func (j *GridJob) Cells() int { return len(j.Xs) * len(j.Ys) }
 // CellSpec returns the content address of cell (row, col) — what the batch
 // endpoint hashes into the equilibrium cache key.
 func (j *GridJob) CellSpec(row, col int) CellSpec {
+	return j.CellSpecAt(j.Xs[col], j.Ys[row])
+}
+
+// CellSpecAt returns the content address of the point at resolved
+// coordinates (x, y). It is coordinate-based, not index-based, so adaptive
+// refinement shares cache entries with any dense grid whose lattice lands
+// on the same coordinates.
+func (j *GridJob) CellSpecAt(x, y float64) CellSpec {
 	return CellSpec{
 		Population: j.scenario.Population,
 		Providers:  j.scenario.Providers,
 		XAxis:      j.XAxis,
-		X:          j.Xs[col],
+		X:          x,
 		YAxis:      j.YAxis,
-		Y:          j.Ys[row],
+		Y:          y,
 		Nu:         j.fixedNu,
 		Metrics:    j.scenario.Sweep.metrics(),
 	}
@@ -168,6 +176,16 @@ func (w *GridWorker) Stats() obs.SolveStats {
 func (w *GridWorker) SolveCell(row, col int) Cell {
 	j := w.job
 	x, y := j.Xs[col], j.Ys[row]
+	return Cell{Row: row, Col: col, X: x, Y: y, Values: w.SolveAt(x, y)}
+}
+
+// SolveAt solves the market at arbitrary resolved coordinates (x, y) — not
+// necessarily on the grid's own lattice — and returns the layer values.
+// This is the adaptive refinement entry point: refined lattice points and
+// verification probes land between the seed knots. Axis domains are convex,
+// so any point between validated grid bounds is itself valid.
+func (w *GridWorker) SolveAt(x, y float64) map[string]float64 {
+	j := w.job
 	nu := j.fixedNu
 	var axes []axisValue
 	if j.XAxis == AxisNu {
@@ -187,7 +205,7 @@ func (w *GridWorker) SolveCell(row, col int) Cell {
 		w.mk.NuBar = nu // keeps the per-ISP warm partitions
 	}
 	pt := j.scenario.solveAt(w.mk, axes)
-	return Cell{Row: row, Col: col, X: x, Y: y, Values: j.cellValues(pt)}
+	return j.cellValues(pt)
 }
 
 // cellValues flattens a solved point into the job's layer map.

@@ -48,6 +48,45 @@ func BenchmarkGridRun(b *testing.B) {
 	}
 }
 
+// BenchmarkGridDense and BenchmarkGridRefined race the two routes to the
+// same target resolution: the dense runner solving every cell of a 41×25
+// grid, versus adaptive refinement growing the bench seed grid (6×4) to the
+// equivalent depth-3 fine lattice (41×25) and interpolating the rest. Both
+// report solved-cells/op so CI's BENCH_grid.json records the solve budget
+// alongside wall time.
+func BenchmarkGridDense(b *testing.B) {
+	s := benchGridScenario()
+	s.Sweep.Points = 41
+	s.Sweep.Grid.Values = nil
+	s.Sweep.Grid.Lo, s.Sweep.Grid.Hi, s.Sweep.Grid.Points = 0.2, 0.65, 25
+	solved := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := s.RunGrid(RunOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		solved = g.Cells()
+	}
+	b.ReportMetric(float64(solved), "solved-cells/op")
+}
+
+func BenchmarkGridRefined(b *testing.B) {
+	s := benchGridScenario()
+	s.Sweep.Grid.Refine = &RefineSpec{Tolerance: 0.01, MaxDepth: 3, Probes: 16}
+	var solved uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunGridRefined(RunOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.Stats()
+		solved = st.PointsSolved + st.ProbeSolves
+	}
+	b.ReportMetric(float64(solved), "solved-cells/op")
+}
+
 // BenchmarkGridCellSolve times one warm cell solve in isolation — the unit
 // the batch endpoint pays per cache miss.
 func BenchmarkGridCellSolve(b *testing.B) {

@@ -243,6 +243,13 @@ type GridSpec struct {
 	Hi     float64   `json:"hi,omitempty"`
 	Points int       `json:"points,omitempty"`
 	Values []float64 `json:"values,omitempty"`
+	// Refine, when set, declares the adaptive-refinement policy: the grid's
+	// cells become the seed of an internal/refine run instead of the final
+	// resolution. Absent fields take the refine package defaults, so an
+	// empty block {} is valid. Being part of the scenario, the block flows
+	// into CanonicalJSON — and therefore into the surrogate's content
+	// address — while leaving unrefined scenarios' addresses untouched.
+	Refine *RefineSpec `json:"refine,omitempty"`
 }
 
 // axisValues materializes an evenly spaced or explicit value grid; explicit
@@ -469,6 +476,15 @@ func (s *Scenario) validateSweep() error {
 		}
 		if err := validateAxisGrid(sw.Grid.Axis, sw.Grid.Lo, sw.Grid.Hi, sw.Grid.Points, sw.Grid.Values); err != nil {
 			return fmt.Errorf("grid row axis: %w", err)
+		}
+		// Refinement needs a 2-D seed: at least two knots per axis.
+		if sw.Grid.Refine != nil {
+			if len(sw.XValues()) < 2 || len(sw.Grid.RowValues()) < 2 {
+				return fmt.Errorf("refine needs at least 2 points per axis to seed the grid")
+			}
+			if err := sw.Grid.Refine.validate(s.gridLayerNames()); err != nil {
+				return err
+			}
 		}
 	}
 	seenMetric := make(map[string]bool, len(sw.Metrics))

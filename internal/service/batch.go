@@ -44,6 +44,12 @@ type batchRequest struct {
 	// Grid names a registered 2-D grid scenario; GridJSON inlines one.
 	Grid     string          `json:"grid,omitempty"`
 	GridJSON json.RawMessage `json:"grid_json,omitempty"`
+	// Refine switches grid mode to adaptive refinement: instead of solving
+	// every cell, the scenario's seed grid is refined where the surface
+	// bends (internal/refine) and the stream carries lattice points and
+	// leaf cells instead of dense cells. The resulting surrogate is cached,
+	// warming GET /v1/query.
+	Refine bool `json:"refine,omitempty"`
 	// Workers overrides the solve's internal parallelism. Execution-only:
 	// it does not participate in any cache key.
 	Workers int `json:"workers,omitempty"`
@@ -78,6 +84,10 @@ type gridInfo struct {
 	Ys     []float64 `json:"ys"`
 	Layers []string  `json:"layers"`
 	Cells  int       `json:"cells"`
+	// Refine marks a refined stream: Xs/Ys are the seed grid, Cells counts
+	// seed cells, and the frames that follow are points and leaves, not
+	// dense cells.
+	Refine bool `json:"refine,omitempty"`
 }
 
 // cellFrame is one solved or cache-served grid cell. Trace carries the
@@ -169,7 +179,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = s.solveWorkers
 	}
 	if listMode {
+		if req.Refine {
+			writeError(w, http.StatusBadRequest, "\"refine\" applies to grid mode only")
+			return
+		}
 		s.batchScenarios(w, r, req.Scenarios, workers)
+		return
+	}
+	if req.Refine {
+		s.batchGridRefined(w, r, &req, workers)
 		return
 	}
 	s.batchGrid(w, r, &req, workers)
@@ -326,7 +344,7 @@ type solvedCell struct {
 // workers by work stealing with one warm-started solver per worker, and
 // only rows with at least one missing cell are visited.
 func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchRequest, workers int) {
-	sc, errStatus, err := s.resolveGridScenario(req)
+	sc, errStatus, err := s.resolveGridScenario(req.Grid, req.GridJSON)
 	if err != nil {
 		writeError(w, errStatus, "%v", err)
 		return
@@ -532,18 +550,19 @@ func (s *Server) batchGrid(w http.ResponseWriter, r *http.Request, req *batchReq
 	})
 }
 
-// resolveGridScenario materializes the grid scenario of a batch request
-// from its name or inline JSON, enforcing that it actually declares a grid.
-func (s *Server) resolveGridScenario(req *batchRequest) (*scenario.Scenario, int, error) {
+// resolveGridScenario materializes a grid scenario from its registered name
+// or inline JSON, enforcing that it actually declares a grid. Shared by the
+// batch grid modes and /v1/query.
+func (s *Server) resolveGridScenario(name string, raw json.RawMessage) (*scenario.Scenario, int, error) {
 	var sc *scenario.Scenario
-	if req.Grid != "" {
-		got, ok := s.scenarios[req.Grid]
+	if name != "" {
+		got, ok := s.scenarios[name]
 		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown scenario %q", req.Grid)
+			return nil, http.StatusNotFound, fmt.Errorf("unknown scenario %q", name)
 		}
 		sc = got
 	} else {
-		got, err := scenario.Load(strings.NewReader(string(req.GridJSON)))
+		got, err := scenario.Load(strings.NewReader(string(raw)))
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}

@@ -25,6 +25,11 @@ var frameBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 1}
 // first scrape, making absence-vs-zero unambiguous.
 var solveOutcomes = []string{"hit", "miss", "coalesced", "error"}
 
+// querySources pre-registers the source label values of pubopt_query_total:
+// "surrogate" for answers served by the verified interpolating surrogate,
+// "solve" for fallback kernel solves when the error bound does not hold.
+var querySources = []string{"surrogate", "solve"}
+
 // histogram is one fixed-bucket Prometheus histogram. Not self-locking:
 // the owning metrics mutex guards it.
 type histogram struct {
@@ -87,6 +92,7 @@ type metrics struct {
 	frames   *histogram                // batch NDJSON frame write+flush latency
 	inFlight int64                     // solves currently executing
 	simTicks uint64                    // dynamics ticks solved by /v1/simulate
+	queries  map[string]uint64         // /v1/query answers by source
 }
 
 func newMetrics() *metrics {
@@ -94,9 +100,13 @@ func newMetrics() *metrics {
 		requests: make(map[string]map[int]uint64),
 		solve:    make(map[string]*histogram, len(solveOutcomes)),
 		frames:   newHistogram(frameBuckets),
+		queries:  make(map[string]uint64, len(querySources)),
 	}
 	for _, o := range solveOutcomes {
 		m.solve[o] = newHistogram(solveBuckets)
+	}
+	for _, src := range querySources {
+		m.queries[src] = 0
 	}
 	return m
 }
@@ -133,6 +143,14 @@ func (m *metrics) observeSimTicks(n int) {
 	m.mu.Unlock()
 }
 
+// observeQuery counts one /v1/query answer under its source ("surrogate"
+// or "solve").
+func (m *metrics) observeQuery(source string) {
+	m.mu.Lock()
+	m.queries[source]++
+	m.mu.Unlock()
+}
+
 // observeFrame records one batch frame's write+flush latency.
 func (m *metrics) observeFrame(seconds float64) {
 	m.mu.Lock()
@@ -161,6 +179,7 @@ type renderSnapshot struct {
 	frames   *histogram
 	inFlight int64
 	simTicks uint64
+	queries  map[string]uint64
 }
 
 func (m *metrics) snapshot() renderSnapshot {
@@ -172,6 +191,10 @@ func (m *metrics) snapshot() renderSnapshot {
 		frames:   m.frames.clone(),
 		inFlight: m.inFlight,
 		simTicks: m.simTicks,
+		queries:  make(map[string]uint64, len(m.queries)),
+	}
+	for src, n := range m.queries {
+		snap.queries[src] = n
 	}
 	for r, byCode := range m.requests {
 		cp := make(map[int]uint64, len(byCode))
@@ -191,7 +214,7 @@ func (m *metrics) snapshot() renderSnapshot {
 // gauge, the outcome-labeled solve histogram, the batch frame histogram,
 // build info, and uptime. It formats from a snapshot so no lock is held
 // while writing.
-func (m *metrics) render(w *strings.Builder, st cache.Stats, solver obs.SolveStats, build obs.BuildInfo, recorded uint64, uptimeSeconds float64) {
+func (m *metrics) render(w *strings.Builder, st cache.Stats, solver obs.SolveStats, refined obs.RefineStats, build obs.BuildInfo, recorded uint64, uptimeSeconds float64) {
 	snap := m.snapshot()
 
 	fmt.Fprintf(w, "# HELP pubopt_http_requests_total HTTP requests served, by route pattern and status code.\n")
@@ -233,6 +256,29 @@ func (m *metrics) render(w *strings.Builder, st cache.Stats, solver obs.SolveSta
 	counter("pubopt_solver_cold_brackets_total", "Root searches bracketed from the full level range.", solver.ColdBrackets)
 	counter("pubopt_solver_bisections_total", "Safeguard bisection steps forced inside the hybrid root search.", solver.Bisections)
 	counter("pubopt_solver_cycle_restarts_total", "Class-dynamics partition-cycle restarts (mover-cap halvings and indifference-band widenings).", solver.CycleRestarts)
+
+	counter("pubopt_refine_points_solved_total", "Adaptive-refinement lattice points materialized by a kernel solve.", refined.PointsSolved)
+	counter("pubopt_refine_points_reused_total", "Adaptive-refinement lattice and probe points served by the per-cell cache.", refined.PointsReused)
+	counter("pubopt_refine_probe_solves_total", "Surrogate-verification probe points solved.", refined.ProbeSolves)
+	counter("pubopt_refine_cells_split_total", "Refinement cells split into four children by curvature or indicator crossing.", refined.CellsSplit)
+	counter("pubopt_refine_cells_interpolated_total", "Refinement leaves accepted by the interpolant screen alone (no center solve).", refined.CellsInterpolated)
+	counter("pubopt_refine_cells_verified_total", "Refinement leaves accepted by a solved center point.", refined.CellsVerified)
+	fmt.Fprintf(w, "# HELP pubopt_refine_leaf_depth_total Refinement leaves finalized, by depth below the seed grid.\n")
+	fmt.Fprintf(w, "# TYPE pubopt_refine_leaf_depth_total counter\n")
+	for d, n := range refined.LeafDepths {
+		fmt.Fprintf(w, "pubopt_refine_leaf_depth_total{depth=\"%d\"} %d\n", d, n)
+	}
+
+	fmt.Fprintf(w, "# HELP pubopt_query_total Point queries answered by /v1/query, by source (surrogate = solve-free, solve = fallback kernel solve).\n")
+	fmt.Fprintf(w, "# TYPE pubopt_query_total counter\n")
+	sources := make([]string, 0, len(snap.queries))
+	for src := range snap.queries {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		fmt.Fprintf(w, "pubopt_query_total{source=%q} %d\n", src, snap.queries[src])
+	}
 
 	counter("pubopt_events_recorded_total", "Flight-recorder events ever recorded (including overwritten ones).", recorded)
 

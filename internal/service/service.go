@@ -16,7 +16,12 @@
 //	GET  /v1/scenarios/{name}       one scenario's full JSON definition
 //	POST /v1/runs                   solve a named or inline 1-D scenario
 //	POST /v1/batch                  stream a scenario list or a 2-D grid
-//	                                as NDJSON, grid cells cached per cell
+//	                                as NDJSON, grid cells cached per cell;
+//	                                "refine": true streams an adaptive
+//	                                refinement run instead of dense cells
+//	GET  /v1/query                  solve-free point query against a grid's
+//	                                cached refinement surrogate (POST works
+//	                                too, for inline grids)
 //	POST /v1/simulate               stream a dynamics scenario tick by tick
 //	                                as NDJSON, ticks cached per tick
 //	GET  /v1/experiments            list the registered figure experiments
@@ -103,9 +108,12 @@ type Server struct {
 	// GET /debug/events (nil when disabled), whether responses echo trace
 	// IDs, and the build stamp for pubopt_build_info.
 	counters obs.Counters
-	recorder *obs.Recorder
-	trace    bool
-	build    obs.BuildInfo
+	// refineCounters aggregates adaptive-refinement telemetry across runs
+	// (rendered as pubopt_refine_* counters).
+	refineCounters obs.RefineCounters
+	recorder       *obs.Recorder
+	trace          bool
+	build          obs.BuildInfo
 
 	// Registry data precomputed at startup so the hot paths never re-derive
 	// it: the registries are immutable and scenario.All/Get deep-copy
@@ -184,6 +192,8 @@ func New(opts Options) *Server {
 	s.handle("GET /v1/scenarios/{name}", s.handleGetScenario)
 	s.handle("POST /v1/runs", s.handleRun)
 	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("GET /v1/query", s.handleQueryGet)
+	s.handle("POST /v1/query", s.handleQueryPost)
 	s.handle("POST /v1/simulate", s.handleSimulate)
 	s.handle("GET /v1/experiments", s.handleListExperiments)
 	s.handle("POST /v1/experiments/{id}/run", s.handleExperimentRun)
@@ -589,7 +599,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.metrics.render(&b, s.store.Stats(), s.counters.Snapshot(), s.build,
+	s.metrics.render(&b, s.store.Stats(), s.counters.Snapshot(),
+		s.refineCounters.Snapshot(), s.build,
 		s.recorder.Recorded(), time.Since(s.start).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())

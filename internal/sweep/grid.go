@@ -2,7 +2,6 @@ package sweep
 
 import (
 	"context"
-	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
@@ -95,36 +94,30 @@ func (g *Grid) Row(layer string, row int) (Series, error) {
 // one row per (layer, cell), trivially pivotable into a heatmap by any
 // plotting tool.
 func (g *Grid) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"layer", g.XLabel, g.YLabel, "value"}); err != nil {
-		return fmt.Errorf("sweep: writing grid CSV header: %w", err)
-	}
-	for _, l := range g.Layers {
-		if len(l.Z) != len(g.Ys) {
-			return fmt.Errorf("sweep: grid layer %q has %d rows, want %d", l.Name, len(l.Z), len(g.Ys))
-		}
-		for r, rowVals := range l.Z {
-			if len(rowVals) != len(g.Xs) {
-				return fmt.Errorf("sweep: grid layer %q row %d has %d columns, want %d", l.Name, r, len(rowVals), len(g.Xs))
+	return writeLongCSV(w, "grid CSV", []string{"layer", g.XLabel, g.YLabel, "value"}, func(write func(row []string) error) error {
+		for _, l := range g.Layers {
+			if len(l.Z) != len(g.Ys) {
+				return fmt.Errorf("sweep: grid layer %q has %d rows, want %d", l.Name, len(l.Z), len(g.Ys))
 			}
-			for c, v := range rowVals {
-				row := []string{
-					l.Name,
-					strconv.FormatFloat(g.Xs[c], 'g', 10, 64),
-					strconv.FormatFloat(g.Ys[r], 'g', 10, 64),
-					strconv.FormatFloat(v, 'g', 10, 64),
+			for r, rowVals := range l.Z {
+				if len(rowVals) != len(g.Xs) {
+					return fmt.Errorf("sweep: grid layer %q row %d has %d columns, want %d", l.Name, r, len(rowVals), len(g.Xs))
 				}
-				if err := cw.Write(row); err != nil {
-					return fmt.Errorf("sweep: writing grid CSV row: %w", err)
+				for c, v := range rowVals {
+					row := []string{
+						l.Name,
+						strconv.FormatFloat(g.Xs[c], 'g', 10, 64),
+						strconv.FormatFloat(g.Ys[r], 'g', 10, 64),
+						strconv.FormatFloat(v, 'g', 10, 64),
+					}
+					if err := write(row); err != nil {
+						return err
+					}
 				}
 			}
 		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("sweep: flushing grid CSV: %w", err)
-	}
-	return nil
+		return nil
+	})
 }
 
 // RunRows executes rows 0..rows-1 across up to workers goroutines with work

@@ -55,30 +55,49 @@ func (t *Table) Add(s Series) { t.Series = append(t.Series, s) }
 // WriteCSV emits the table in long form: series,x,y — one row per point,
 // trivially loadable by any plotting tool.
 func (t *Table) WriteCSV(w io.Writer) error {
+	return writeLongCSV(w, "CSV", []string{"series", t.XLabel, t.YLabel}, func(write func(row []string) error) error {
+		for _, s := range t.Series {
+			if len(s.X) != len(s.Y) {
+				return fmt.Errorf("sweep: series %q has mismatched lengths %d/%d", s.Name, len(s.X), len(s.Y))
+			}
+			for i := range s.X {
+				row := []string{
+					s.Name,
+					strconv.FormatFloat(s.X[i], 'g', 10, 64),
+					strconv.FormatFloat(s.Y[i], 'g', 10, 64),
+				}
+				if err := write(row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// writeLongCSV centralizes the header/rows/flush choreography shared by the
+// long-form CSV writers (Table.WriteCSV, Grid.WriteCSV). what qualifies the
+// error messages ("CSV" for tables, "grid CSV" for grids); emit streams the
+// data rows through write and may return its own shape errors verbatim.
+func writeLongCSV(w io.Writer, what string, header []string, emit func(write func(row []string) error) error) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", t.XLabel, t.YLabel}); err != nil {
-		return fmt.Errorf("sweep: writing CSV header: %w", err)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sweep: writing %s header: %w", what, err)
 	}
-	for _, s := range t.Series {
-		if len(s.X) != len(s.Y) {
-			return fmt.Errorf("sweep: series %q has mismatched lengths %d/%d", s.Name, len(s.X), len(s.Y))
+	write := func(row []string) error {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("sweep: writing %s row: %w", what, err)
 		}
-		for i := range s.X {
-			row := []string{
-				s.Name,
-				strconv.FormatFloat(s.X[i], 'g', 10, 64),
-				strconv.FormatFloat(s.Y[i], 'g', 10, 64),
-			}
-			if err := cw.Write(row); err != nil {
-				return fmt.Errorf("sweep: writing CSV row: %w", err)
-			}
-		}
+		return nil
+	}
+	if err := emit(write); err != nil {
+		return err
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
 		// Flush is the only point buffered bytes actually reach w, so a
 		// short write (full disk, closed pipe) surfaces here, not above.
-		return fmt.Errorf("sweep: flushing CSV: %w", err)
+		return fmt.Errorf("sweep: flushing %s: %w", what, err)
 	}
 	return nil
 }
